@@ -1,0 +1,83 @@
+// Microbenchmarks (google-benchmark) for the swlz codec family: compression
+// and decompression throughput per preset and payload type. Complements
+// bench_table2_codec_params' paper-style table with statistically stable
+// per-op numbers.
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.hpp"
+#include "codec/synth_data.hpp"
+
+namespace {
+
+using namespace swallow;
+
+codec::Buffer payload_for(int kind, std::size_t n) {
+  common::Rng rng(99);
+  switch (kind) {
+    case 0: return codec::text_bytes(n, rng);
+    case 1: return codec::run_bytes(n, rng);
+    case 2: return codec::random_bytes(n, rng);
+    default: return codec::mixed_bytes(n, rng, 0.3);
+  }
+}
+
+const char* payload_name(int kind) {
+  switch (kind) {
+    case 0: return "text";
+    case 1: return "runs";
+    case 2: return "random";
+    default: return "mixed";
+  }
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto kind = static_cast<codec::CodecKind>(state.range(0));
+  const auto codec = codec::make_codec(kind);
+  const codec::Buffer input =
+      payload_for(static_cast<int>(state.range(1)), 1 << 20);
+  codec::Buffer out(codec->max_compressed_size(input.size()));
+  std::size_t compressed = 0;
+  for (auto _ : state) {
+    compressed = codec->compress(input, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+  state.SetLabel(std::string(codec::codec_kind_name(kind)) + "/" +
+                 payload_name(static_cast<int>(state.range(1))) + " ratio=" +
+                 std::to_string(static_cast<double>(compressed) /
+                                static_cast<double>(input.size())));
+}
+
+void BM_Decompress(benchmark::State& state) {
+  const auto kind = static_cast<codec::CodecKind>(state.range(0));
+  const auto codec = codec::make_codec(kind);
+  const codec::Buffer input =
+      payload_for(static_cast<int>(state.range(1)), 1 << 20);
+  const codec::Buffer compressed = codec->compress(input);
+  codec::Buffer out(input.size());
+  for (auto _ : state) {
+    codec->decompress(compressed, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+  state.SetLabel(std::string(codec::codec_kind_name(kind)) + "/" +
+                 payload_name(static_cast<int>(state.range(1))));
+}
+
+void register_args(benchmark::internal::Benchmark* bench) {
+  for (const auto kind :
+       {codec::CodecKind::kLzFast, codec::CodecKind::kLzBalanced,
+        codec::CodecKind::kLzHigh}) {
+    for (int payload = 0; payload < 4; ++payload)
+      bench->Args({static_cast<long>(kind), payload});
+  }
+}
+
+BENCHMARK(BM_Compress)->Apply(register_args)->MinTime(0.1);
+BENCHMARK(BM_Decompress)->Apply(register_args)->MinTime(0.1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

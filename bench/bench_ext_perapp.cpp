@@ -1,0 +1,42 @@
+// Extension — per-application simulation with Table I compression ratios.
+// The generator stamps every simulated HiBench flow with its application's
+// measured ratio, so the *simulated* traffic reduction can be compared to
+// the paper's deployed Table VII number (48.41%) directly — something a
+// single global codec ratio cannot do.
+#include "bench_common.hpp"
+#include "workload/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+  const common::Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  bench::print_header(
+      "Extension - per-application Table I ratios inside the simulator",
+      "Simulated HiBench suite traffic reduction vs the paper's deployed"
+      " 48.41%");
+
+  const workload::Trace trace = workload::hibench_trace(
+      4 * common::kGB, /*rounds=*/2, /*num_ports=*/12,
+      /*mean_interarrival=*/0.5, seed);
+  const fabric::Fabric fabric(12, common::mbps(100));
+  const cpu::ConstantCpu cpu(0.9);
+
+  common::Table table({"scheduler", "avg CCT (s)", "avg JCT (s)",
+                       "traffic reduction"});
+  for (const char* name : {"FVDF", "SEBF", "FAIR"}) {
+    auto sched = sim::make_scheduler(name);
+    sim::SimConfig config;
+    config.codec = &codec::default_codec_model();
+    const sim::Metrics m =
+        run_simulation(trace, fabric, cpu, *sched, config);
+    table.add_row({name, common::fmt_double(m.avg_cct(), 2),
+                   common::fmt_double(m.avg_jct(), 2),
+                   common::fmt_percent(m.traffic_reduction())});
+  }
+  table.print(std::cout);
+  std::cout << "(the suite is Terasort/Sort-weighted like Table I, so the"
+               " simulated reduction lands near 1 - 0.27; the deployed"
+               " Table VII mix measured 48.41%)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 3/4 — the motivating example: two coflows over a 3x3 fabric under
+// six mechanisms. Paper averages (FCT / CCT in time units):
+//   PFF 4.6/5.5  WSS 5.2/6  FIFO 4.4/5.5  PFP 3.8/5.5  SEBF 4/4.5
+//   FVDF (with compression) 2.8/3.25.
+#include "bench_common.hpp"
+
+int main(int, char**) {
+  using namespace swallow;
+  bench::print_header(
+      "Fig. 4 - motivation example schedules",
+      "Paper: avg FCT/CCT of 6 mechanisms on the 2-coflow, 5-flow example");
+
+  const auto setup = sim::motivation_setup();
+  struct Row {
+    const char* name;
+    const char* paper_fct;
+    const char* paper_cct;
+  };
+  const Row rows[] = {
+      {"PFF", "4.6", "5.5"},  {"WSS", "5.2", "6.0"},  {"FIFO", "4.4", "5.5"},
+      {"PFP", "3.8", "5.5"},  {"SEBF", "4.0", "4.5"}, {"FVDF", "2.8", "3.25"},
+  };
+
+  common::Table table({"Mechanism", "paper FCT", "measured FCT", "paper CCT",
+                       "measured CCT"});
+  for (const Row& row : rows) {
+    const sim::Metrics m = setup->run(row.name);
+    table.add_row({row.name, row.paper_fct,
+                   common::fmt_double(m.avg_fct(), 2), row.paper_cct,
+                   common::fmt_double(m.avg_cct(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "(time units; SEBF's published 4.0 reads low off the"
+               " hand-drawn grid - MADD+backfill gives 4.2; FVDF compresses"
+               " C1 fully where the cartoon compresses it partially)\n";
+  return 0;
+}

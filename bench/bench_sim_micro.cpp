@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the scheduling hot paths: the
+// rate solvers and each scheduler's full decision on a loaded fabric, plus
+// an end-to-end engine run. These bound how short a real deployment's
+// scheduling slice could be (the paper discusses 10 ms).
+#include <benchmark/benchmark.h>
+
+#include "cpu/cpu_model.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace swallow;
+
+/// A loaded context: `n` coflows of width 4 over 32 ports.
+struct LoadedWorld {
+  explicit LoadedWorld(std::size_t n)
+      : fabric(32, common::mbps(1000)), cpu(0.9) {
+    common::Rng rng(1);
+    fabric::FlowId next_flow = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      fabric::Coflow coflow;
+      coflow.id = c;
+      for (int j = 0; j < 4; ++j) {
+        fabric::Flow f;
+        f.id = next_flow++;
+        f.coflow = c;
+        f.src = static_cast<fabric::PortId>(rng.uniform_int(0, 31));
+        f.dst = static_cast<fabric::PortId>(rng.uniform_int(0, 31));
+        f.raw_remaining = rng.uniform(1e6, 1e9);
+        f.original_bytes = f.raw_remaining;
+        coflow.flows.push_back(f.id);
+        flows.push_back(f);
+      }
+      coflows.push_back(coflow);
+    }
+  }
+
+  sched::SchedContext context() {
+    sched::SchedContext ctx;
+    ctx.fabric = &fabric;
+    ctx.cpu = &cpu;
+    ctx.codec = &codec::default_codec_model();
+    for (auto& f : flows) ctx.flows.push_back(&f);
+    for (auto& c : coflows) ctx.coflows.push_back(&c);
+    return ctx;
+  }
+
+  fabric::Fabric fabric;
+  cpu::ConstantCpu cpu;
+  std::vector<fabric::Flow> flows;
+  std::vector<fabric::Coflow> coflows;
+};
+
+void BM_SchedulerDecision(benchmark::State& state,
+                          const std::string& name) {
+  LoadedWorld world(static_cast<std::size_t>(state.range(0)));
+  auto sched = sim::make_scheduler(name);
+  auto ctx = world.context();
+  for (auto _ : state) {
+    const fabric::Allocation a = sched->schedule(ctx);
+    benchmark::DoNotOptimize(a.flow_count());
+  }
+  state.SetLabel(std::to_string(ctx.flows.size()) + " flows");
+}
+
+void BM_MaxMinFair(benchmark::State& state) {
+  LoadedWorld world(static_cast<std::size_t>(state.range(0)));
+  auto ctx = world.context();
+  const std::vector<double> weights(ctx.flows.size(), 1.0);
+  for (auto _ : state) {
+    const fabric::Allocation a =
+        fabric::weighted_max_min(ctx.flows, weights, world.fabric);
+    benchmark::DoNotOptimize(a.flow_count());
+  }
+}
+
+void BM_EngineRun(benchmark::State& state) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 16;
+  gen.num_coflows = static_cast<std::size_t>(state.range(0));
+  gen.size_lo = 1e6;
+  gen.size_hi = 1e8;
+  gen.width_hi = 4;
+  gen.seed = 3;
+  const workload::Trace trace = workload::generate_trace(gen);
+  const fabric::Fabric fabric(16, common::gbps(1));
+  const cpu::ConstantCpu cpu(0.9);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  for (auto _ : state) {
+    auto sched = sim::make_scheduler("FVDF");
+    const sim::Metrics m =
+        run_simulation(trace, fabric, cpu, *sched, config);
+    benchmark::DoNotOptimize(m.flows.size());
+  }
+}
+
+BENCHMARK_CAPTURE(BM_SchedulerDecision, FVDF, "FVDF")
+    ->Arg(32)->Arg(256)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_SchedulerDecision, SEBF, "SEBF")
+    ->Arg(32)->Arg(256)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_SchedulerDecision, PFF, "PFF")
+    ->Arg(32)->Arg(256)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_SchedulerDecision, AALO, "AALO")
+    ->Arg(32)->Arg(256)->MinTime(0.05);
+BENCHMARK(BM_MaxMinFair)->Arg(32)->Arg(256)->MinTime(0.05);
+BENCHMARK(BM_EngineRun)->Arg(20)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// The paper's Fig. 3 walkthrough: two coflows on a 3x3 fabric, scheduled by
+// each of the six mechanisms of Fig. 4, with per-flow completion times so
+// the head-of-line / fairness / compression effects are visible.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main(int, char**) {
+  using namespace swallow;
+  const auto setup = sim::motivation_setup();
+
+  std::cout <<
+      "Fig. 3: coflow C1 = {f1: 4 units on channel A, f2: 4 on B, f3: 2 on"
+      " C},\n        coflow C2 = {f4: 2 on B, f5: 3 on C};"
+      " every channel carries 1 unit/time.\n"
+      "CPU is idle during [0,1) and [3,3.5); the codec halves data at 4"
+      " units/time.\n\n";
+
+  for (const char* name : {"PFF", "WSS", "FIFO", "PFP", "SEBF", "FVDF"}) {
+    const sim::Metrics m = setup->run(name);
+    std::cout << name << ": avg FCT " << common::fmt_double(m.avg_fct(), 2)
+              << ", avg CCT " << common::fmt_double(m.avg_cct(), 2) << '\n';
+    common::Table table({"flow", "coflow", "size", "completed at",
+                         "bytes on wire"});
+    auto flows = m.flows;
+    std::sort(flows.begin(), flows.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+    for (const auto& f : flows) {
+      table.add_row({"f" + std::to_string(f.id + 1),
+                     "C" + std::to_string(f.coflow),
+                     common::fmt_double(f.original_bytes, 0),
+                     common::fmt_double(f.completion, 2),
+                     common::fmt_double(f.wire_bytes, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Note how FVDF's wire bytes shrink (compression during the"
+               " idle CPU windows)\nwhile every baseline ships the full"
+               " volume.\n";
+  return 0;
+}

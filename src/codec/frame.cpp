@@ -1,0 +1,196 @@
+#include "codec/frame.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "codec/varint.hpp"
+
+namespace swallow::codec {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'W', 'F', '1'};
+
+void write_u64le(std::uint64_t v, std::span<std::uint8_t> out,
+                 std::size_t pos) {
+  for (int i = 0; i < 8; ++i)
+    out[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t read_u64le(std::span<const std::uint8_t> in, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Buffer frame_compress(const Codec& codec,
+                      std::span<const std::uint8_t> payload,
+                      std::size_t block_size, unsigned num_threads) {
+  if (block_size == 0) throw CodecError("frame: zero block size");
+  const std::size_t num_blocks =
+      payload.empty() ? 0 : (payload.size() + block_size - 1) / block_size;
+
+  // Compress blocks (possibly concurrently) into per-block containers.
+  std::vector<Buffer> blocks(num_blocks);
+  auto compress_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t off = b * block_size;
+      const std::size_t len = std::min(block_size, payload.size() - off);
+      blocks[b] = codec.compress(payload.subspan(off, len));
+    }
+  };
+  const unsigned threads =
+      std::max(1u, std::min<unsigned>(num_threads,
+                                      static_cast<unsigned>(num_blocks)));
+  if (threads <= 1) {
+    compress_range(0, num_blocks);
+  } else {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t lo = num_blocks * t / threads;
+      const std::size_t hi = num_blocks * (t + 1) / threads;
+      workers.emplace_back([&, lo, hi] { compress_range(lo, hi); });
+    }
+  }
+
+  std::size_t total = sizeof(kMagic) + 1 + varint_size(payload.size()) +
+                      varint_size(block_size);
+  for (std::size_t b = 0; b < num_blocks; ++b)
+    total += varint_size(blocks[b].size()) + 8 + blocks[b].size();
+
+  Buffer out(total);
+  std::size_t pos = 0;
+  std::copy(std::begin(kMagic), std::end(kMagic), out.begin());
+  pos += sizeof(kMagic);
+  out[pos++] = codec.id();
+  pos += write_varint(payload.size(), out, pos);
+  pos += write_varint(block_size, out, pos);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t off = b * block_size;
+    const std::size_t len = std::min(block_size, payload.size() - off);
+    pos += write_varint(blocks[b].size(), out, pos);
+    write_u64le(fnv1a64(payload.subspan(off, len)), out, pos);
+    pos += 8;
+    std::copy(blocks[b].begin(), blocks[b].end(),
+              out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += blocks[b].size();
+  }
+  out.resize(pos);
+  return out;
+}
+
+std::size_t frame_decompressed_size(std::span<const std::uint8_t> frame) {
+  if (!is_frame(frame)) throw CodecError("frame: bad magic");
+  std::size_t pos = sizeof(kMagic) + 1;  // magic + codec id
+  return static_cast<std::size_t>(read_varint(frame, pos));
+}
+
+bool is_frame(std::span<const std::uint8_t> data) {
+  return data.size() >= sizeof(kMagic) &&
+         std::equal(std::begin(kMagic), std::end(kMagic), data.begin());
+}
+
+Buffer frame_decompress(std::span<const std::uint8_t> frame,
+                        unsigned num_threads) {
+  if (!is_frame(frame)) throw CodecError("frame: bad magic");
+  std::size_t pos = sizeof(kMagic);
+  const std::uint8_t codec_id = frame[pos++];
+  const auto raw_size = static_cast<std::size_t>(read_varint(frame, pos));
+  const auto block_size = static_cast<std::size_t>(read_varint(frame, pos));
+  if (block_size == 0) throw CodecError("frame: zero block size in header");
+
+  std::unique_ptr<Codec> codec;
+  for (const CodecKind kind : all_codec_kinds()) {
+    auto candidate = make_codec(kind);
+    if (candidate->id() == codec_id) {
+      codec = std::move(candidate);
+      break;
+    }
+  }
+  if (!codec) throw CodecError("frame: unknown codec id");
+
+  const std::size_t num_blocks =
+      raw_size == 0 ? 0 : (raw_size + block_size - 1) / block_size;
+
+  // Walk the index first so blocks can be decoded concurrently.
+  struct BlockRef {
+    std::size_t container_pos;
+    std::size_t container_size;
+    std::uint64_t checksum;
+    std::size_t raw_off;
+    std::size_t raw_len;
+  };
+  std::vector<BlockRef> refs;
+  refs.reserve(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const auto stored = static_cast<std::size_t>(read_varint(frame, pos));
+    if (pos + 8 > frame.size()) throw CodecError("frame: truncated checksum");
+    const std::uint64_t checksum = read_u64le(frame, pos);
+    pos += 8;
+    if (pos + stored > frame.size()) throw CodecError("frame: truncated block");
+    const std::size_t off = b * block_size;
+    refs.push_back({pos, stored, checksum, off,
+                    std::min(block_size, raw_size - off)});
+    pos += stored;
+  }
+  if (pos != frame.size()) throw CodecError("frame: trailing garbage");
+
+  Buffer out(raw_size);
+  auto decode_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const BlockRef& ref = refs[b];
+      const std::size_t n = codec->decompress(
+          frame.subspan(ref.container_pos, ref.container_size),
+          std::span<std::uint8_t>(out.data() + ref.raw_off, ref.raw_len));
+      if (n != ref.raw_len) throw CodecError("frame: block size mismatch");
+      if (fnv1a64({out.data() + ref.raw_off, ref.raw_len}) != ref.checksum)
+        throw CodecError("frame: checksum mismatch in block " +
+                         std::to_string(b));
+    }
+  };
+  const unsigned threads =
+      std::max(1u, std::min<unsigned>(num_threads,
+                                      static_cast<unsigned>(num_blocks)));
+  if (threads <= 1) {
+    decode_range(0, num_blocks);
+  } else {
+    // Exceptions must not escape a jthread: capture and rethrow.
+    std::vector<std::exception_ptr> errors(threads);
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) {
+        const std::size_t lo = num_blocks * t / threads;
+        const std::size_t hi = num_blocks * (t + 1) / threads;
+        workers.emplace_back([&, lo, hi, t] {
+          try {
+            decode_range(lo, hi);
+          } catch (...) {
+            errors[t] = std::current_exception();
+          }
+        });
+      }
+    }
+    for (const auto& error : errors)
+      if (error) std::rethrow_exception(error);
+  }
+  return out;
+}
+
+}  // namespace swallow::codec

@@ -1,0 +1,245 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <queue>
+#include <vector>
+
+namespace swallow::codec {
+
+namespace {
+
+constexpr std::size_t kSymbols = 256;
+constexpr std::size_t kHeaderBytes = kSymbols;
+// Huffman depth is bounded by log_phi(total); 64 covers any addressable
+// input with comfortable margin.
+constexpr int kMaxCodeLength = 64;
+
+/// Huffman code lengths from symbol counts (0 for absent symbols).
+std::array<std::uint8_t, kSymbols> code_lengths(
+    const std::array<std::uint64_t, kSymbols>& counts) {
+  std::array<std::uint8_t, kSymbols> lengths{};
+  struct Node {
+    std::uint64_t count;
+    int index;  // < kSymbols: leaf; otherwise internal
+  };
+  const auto heavier = [](const Node& a, const Node& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.index > b.index;  // deterministic tie-break
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(heavier)> heap(
+      heavier);
+  // parent[] over leaves (0..255) then internal nodes (256..).
+  std::vector<int> parent;
+  parent.resize(kSymbols, -1);
+  std::size_t present = 0;
+  int last_leaf = -1;
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (counts[s] == 0) continue;
+    heap.push({counts[s], static_cast<int>(s)});
+    ++present;
+    last_leaf = static_cast<int>(s);
+  }
+  if (present == 0) return lengths;
+  if (present == 1) {
+    lengths[static_cast<std::size_t>(last_leaf)] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const int internal = static_cast<int>(parent.size());
+    parent.push_back(-1);
+    parent[static_cast<std::size_t>(a.index)] = internal;
+    parent[static_cast<std::size_t>(b.index)] = internal;
+    heap.push({a.count + b.count, internal});
+  }
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    if (counts[s] == 0) continue;
+    int depth = 0;
+    for (int node = static_cast<int>(s); parent[static_cast<std::size_t>(node)] != -1;
+         node = parent[static_cast<std::size_t>(node)])
+      ++depth;
+    lengths[s] = static_cast<std::uint8_t>(depth);
+  }
+  return lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, value) receive
+/// consecutive codes per length tier.
+struct CanonicalCodes {
+  std::array<std::uint64_t, kSymbols> code{};
+  std::array<std::uint8_t, kSymbols> length{};
+  // Decoder tables indexed by code length.
+  std::array<std::uint64_t, kMaxCodeLength + 1> first_code{};
+  std::array<std::uint32_t, kMaxCodeLength + 1> first_index{};
+  std::array<std::uint32_t, kMaxCodeLength + 1> count{};
+  std::vector<std::uint8_t> sorted_symbols;  // by (length, value)
+};
+
+CanonicalCodes build_canonical(const std::array<std::uint8_t, kSymbols>& lengths) {
+  CanonicalCodes canon;
+  canon.length = lengths;
+  for (int len = 1; len <= kMaxCodeLength; ++len)
+    for (std::size_t s = 0; s < kSymbols; ++s)
+      if (lengths[s] == len)
+        canon.sorted_symbols.push_back(static_cast<std::uint8_t>(s));
+
+  std::uint64_t code = 0;
+  std::uint32_t index = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code <<= 1;
+    canon.first_code[static_cast<std::size_t>(len)] = code;
+    canon.first_index[static_cast<std::size_t>(len)] = index;
+    for (const std::uint8_t s : canon.sorted_symbols) {
+      if (lengths[s] != len) continue;
+      canon.code[s] = code++;
+      ++index;
+    }
+    canon.count[static_cast<std::size_t>(len)] =
+        index - canon.first_index[static_cast<std::size_t>(len)];
+  }
+  return canon;
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::span<std::uint8_t> out) : out_(out) {}
+  void put(std::uint64_t code, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      if ((code >> i) & 1) current_ |= static_cast<std::uint8_t>(0x80 >> fill_);
+      if (++fill_ == 8) flush_byte();
+    }
+  }
+  std::size_t finish() {
+    if (fill_ > 0) flush_byte();
+    return pos_;
+  }
+
+ private:
+  void flush_byte() {
+    out_[pos_++] = current_;
+    current_ = 0;
+    fill_ = 0;
+  }
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
+  std::uint8_t current_ = 0;
+  int fill_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) {}
+  int next() {
+    if (pos_ >= in_.size() * 8) return -1;
+    const int bit = (in_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+    ++pos_;
+    return bit;
+  }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t HuffmanCodec::max_payload_size(std::size_t raw) const {
+  // Optimal prefix codes never beat the trivial 8-bit code, plus header
+  // and the final partial byte.
+  return raw + kHeaderBytes + 8;
+}
+
+std::size_t HuffmanCodec::max_compressed_size(std::size_t raw) const {
+  return 1 + 10 + max_payload_size(raw);
+}
+
+std::size_t HuffmanCodec::encode(std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out) const {
+  std::array<std::uint64_t, kSymbols> counts{};
+  for (const std::uint8_t b : in) ++counts[b];
+  const auto lengths = code_lengths(counts);
+  const CanonicalCodes canon = build_canonical(lengths);
+
+  std::copy(lengths.begin(), lengths.end(), out.begin());
+  BitWriter writer(out.subspan(kHeaderBytes));
+  for (const std::uint8_t b : in) writer.put(canon.code[b], lengths[b]);
+  return kHeaderBytes + writer.finish();
+}
+
+void HuffmanCodec::decode(std::span<const std::uint8_t> in,
+                          std::span<std::uint8_t> out) const {
+  if (out.empty()) {
+    if (in.size() < kHeaderBytes && !in.empty())
+      throw CodecError("huffman: truncated header");
+    return;
+  }
+  if (in.size() < kHeaderBytes) throw CodecError("huffman: truncated header");
+  std::array<std::uint8_t, kSymbols> lengths{};
+  std::copy_n(in.begin(), kHeaderBytes, lengths.begin());
+  for (const std::uint8_t len : lengths)
+    if (len > kMaxCodeLength) throw CodecError("huffman: bad code length");
+  const CanonicalCodes canon = build_canonical(lengths);
+  if (canon.sorted_symbols.empty())
+    throw CodecError("huffman: empty code table with nonempty output");
+
+  // Kraft check: a non-prefix-complete table means a corrupt header.
+  double kraft = 0;
+  for (const std::uint8_t s : canon.sorted_symbols)
+    kraft += std::pow(2.0, -static_cast<double>(lengths[s]));
+  if (kraft > 1.0 + 1e-9) throw CodecError("huffman: invalid code table");
+
+  BitReader reader(in.subspan(kHeaderBytes));
+  for (std::size_t produced = 0; produced < out.size(); ++produced) {
+    std::uint64_t code = 0;
+    int len = 0;
+    while (true) {
+      const int bit = reader.next();
+      if (bit < 0) throw CodecError("huffman: truncated bitstream");
+      code = (code << 1) | static_cast<std::uint64_t>(bit);
+      if (++len > kMaxCodeLength) throw CodecError("huffman: code overrun");
+      const auto l = static_cast<std::size_t>(len);
+      if (canon.count[l] != 0 && code >= canon.first_code[l] &&
+          code - canon.first_code[l] < canon.count[l]) {
+        out[produced] = canon.sorted_symbols[canon.first_index[l] +
+                                             (code - canon.first_code[l])];
+        break;
+      }
+    }
+  }
+}
+
+ChainedCodec::ChainedCodec(std::unique_ptr<Codec> inner,
+                           std::unique_ptr<Codec> outer, std::string name,
+                           std::uint8_t id)
+    : inner_(std::move(inner)),
+      outer_(std::move(outer)),
+      name_(std::move(name)),
+      id_(id) {}
+
+std::size_t ChainedCodec::max_payload_size(std::size_t raw) const {
+  return outer_->max_compressed_size(inner_->max_compressed_size(raw));
+}
+
+std::size_t ChainedCodec::max_compressed_size(std::size_t raw) const {
+  return 1 + 10 + max_payload_size(raw);
+}
+
+std::size_t ChainedCodec::encode(std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out) const {
+  const Buffer stage1 = inner_->compress(in);
+  return outer_->compress(stage1, out);
+}
+
+void ChainedCodec::decode(std::span<const std::uint8_t> in,
+                          std::span<std::uint8_t> out) const {
+  const Buffer stage1 = outer_->decompress(in);
+  const std::size_t n = inner_->decompress(stage1, out);
+  if (n != out.size()) throw CodecError(name_ + ": chained size mismatch");
+}
+
+}  // namespace swallow::codec

@@ -1,0 +1,42 @@
+#include "codec/throughput.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace swallow::codec {
+
+namespace {
+double mbps(std::size_t bytes, std::chrono::steady_clock::duration d) {
+  const double secs = std::chrono::duration<double>(d).count();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / secs;
+}
+}  // namespace
+
+ThroughputResult measure_codec(const Codec& codec,
+                               std::span<const std::uint8_t> payload,
+                               int repeats) {
+  using Clock = std::chrono::steady_clock;
+  Buffer compressed(codec.max_compressed_size(payload.size()));
+  Buffer restored(payload.size());
+
+  double best_compress = 0.0, best_decompress = 0.0;
+  std::size_t compressed_size = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    compressed_size = codec.compress(payload, compressed);
+    const auto t1 = Clock::now();
+    codec.decompress(
+        std::span<const std::uint8_t>(compressed.data(), compressed_size),
+        restored);
+    const auto t2 = Clock::now();
+    if (!std::equal(payload.begin(), payload.end(), restored.begin()))
+      throw CodecError(codec.name() + ": roundtrip mismatch in measurement");
+    best_compress = std::max(best_compress, mbps(payload.size(), t1 - t0));
+    best_decompress = std::max(best_decompress, mbps(payload.size(), t2 - t1));
+  }
+  return {best_compress, best_decompress,
+          compression_ratio(payload.size(), compressed_size)};
+}
+
+}  // namespace swallow::codec

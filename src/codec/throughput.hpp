@@ -1,0 +1,22 @@
+// Wall-clock measurement of a codec's speed and ratio on a payload; backs
+// the Table II reproduction for our from-scratch codecs.
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace swallow::codec {
+
+struct ThroughputResult {
+  double compress_mbps;    ///< MB/s of raw input consumed while compressing
+  double decompress_mbps;  ///< MB/s of raw output produced while decompressing
+  double ratio;            ///< compressed/raw
+};
+
+/// Runs `repeats` compress+decompress cycles over `payload` and reports the
+/// best (least-noisy) cycle. Verifies the roundtrip and throws CodecError on
+/// mismatch, so a benchmark can never silently report a broken codec.
+ThroughputResult measure_codec(const Codec& codec,
+                               std::span<const std::uint8_t> payload,
+                               int repeats = 3);
+
+}  // namespace swallow::codec

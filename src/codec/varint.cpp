@@ -1,0 +1,41 @@
+#include "codec/varint.hpp"
+
+#include "codec/codec.hpp"
+
+namespace swallow::codec {
+
+std::size_t write_varint(std::uint64_t value, std::span<std::uint8_t> out,
+                         std::size_t pos) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    out[pos + n] = static_cast<std::uint8_t>(value | 0x80);
+    value >>= 7;
+    ++n;
+  }
+  out[pos + n] = static_cast<std::uint8_t>(value);
+  return n + 1;
+}
+
+std::uint64_t read_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t n = 0; n < kMaxVarintBytes; ++n) {
+    if (pos >= in.size()) throw CodecError("varint: truncated input");
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  throw CodecError("varint: overlong encoding");
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace swallow::codec

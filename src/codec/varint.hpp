@@ -1,0 +1,24 @@
+// LEB128-style unsigned varints used by the codec container headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace swallow::codec {
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends `value` to `out` (which must have >= kMaxVarintBytes free space
+/// beyond `pos`); returns bytes written.
+std::size_t write_varint(std::uint64_t value, std::span<std::uint8_t> out,
+                         std::size_t pos);
+
+/// Reads a varint at `pos`; advances `pos`; throws CodecError on truncation
+/// or overlong encodings.
+std::uint64_t read_varint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+/// Encoded size of `value` in bytes.
+std::size_t varint_size(std::uint64_t value);
+
+}  // namespace swallow::codec

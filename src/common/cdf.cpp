@@ -1,0 +1,83 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swallow::common {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::finalize() { ensure_sorted(); }
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::at on empty CDF");
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::quantile on empty CDF");
+  if (q <= 0.0 || q > 1.0)
+    throw std::invalid_argument("Cdf::quantile: q out of (0,1]");
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size()) - 1e-12);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Cdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Cdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Cdf::mass_fraction_above(double x) const {
+  double total = 0.0, above = 0.0;
+  for (double v : samples_) {
+    total += v;
+    if (v > x) above += v;
+  }
+  return total > 0.0 ? above / total : 0.0;
+}
+
+std::vector<std::pair<double, double>> Cdf::points(std::size_t n) const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace swallow::common

@@ -1,0 +1,46 @@
+// Empirical CDFs, used for Fig. 1 (flow size distribution), Fig. 6(d)
+// (FCT CDF) and Fig. 7(c) (CCT CDF under different time slices).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swallow::common {
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+  /// Sorts pending samples; called lazily by the query methods.
+  void finalize();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// P(X <= x) over the sample.
+  double at(double x) const;
+  /// Inverse CDF: smallest sample value v with P(X <= v) >= q, q in (0, 1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Weighted fraction of total mass contributed by samples > x
+  /// (e.g. "flows larger than 10 GB create 93% of bytes", Fig. 1(b)).
+  double mass_fraction_above(double x) const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting/printing.
+  std::vector<std::pair<double, double>> points(std::size_t n) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace swallow::common

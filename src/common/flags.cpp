@@ -1,0 +1,45 @@
+#include "common/flags.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace swallow::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("Flags: expected --key[=value], got " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos)
+      values_[arg] = "true";
+    else
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+long Flags::get_int(const std::string& key, long def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stol(it->second);
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace swallow::common

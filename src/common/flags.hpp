@@ -1,0 +1,24 @@
+// Minimal --key=value command-line parser for bench/example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace swallow::common {
+
+class Flags {
+ public:
+  /// Accepts "--key=value" and bare "--key" (=> "true"); rejects positionals.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  double get_double(const std::string& key, double def) const;
+  long get_int(const std::string& key, long def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace swallow::common

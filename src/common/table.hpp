@@ -1,0 +1,33 @@
+// ASCII table printer: every bench binary renders its paper-style table with
+// this, so reports stay visually consistent.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swallow::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column-aligned pipes and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 2);  ///< 0.4841 -> "48.41%"
+std::string fmt_bytes(double bytes);       ///< human units: 1.5 MB, 2.3 GB...
+std::string fmt_speedup(double factor);    ///< 1.47 -> "1.47x"
+std::string fmt_int(double v);             ///< thousands separators: 79,913
+
+}  // namespace swallow::common

@@ -1,0 +1,132 @@
+#include "core/fvdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace swallow::core {
+
+common::Bytes delta_c(const codec::CodecModel& codec, common::Seconds slice,
+                      double cpu_headroom) {
+  return codec.delta_c(slice, cpu_headroom);
+}
+
+common::Bytes delta_t(common::Bps bandwidth, common::Seconds slice) {
+  return bandwidth * slice;
+}
+
+common::Seconds expected_fct(const fabric::Flow& flow, bool beta,
+                             const codec::CodecModel& codec,
+                             double cpu_headroom, common::Bps bandwidth,
+                             common::Seconds slice) {
+  if (bandwidth <= 0) throw std::invalid_argument("expected_fct: B <= 0");
+  // Eq. 1 with the flow's own ratio when the workload specifies one.
+  codec::CodecModel effective = codec;
+  effective.ratio = flow.effective_ratio(codec.ratio);
+  const common::Bytes disposal =
+      beta ? delta_c(effective, slice, cpu_headroom)
+           : delta_t(bandwidth, slice);
+  const common::Bytes rest = std::max(0.0, flow.volume() - disposal);
+  return slice + rest / bandwidth;
+}
+
+std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
+                                             bool online,
+                                             bool force_compression) {
+  // Group unfinished flows by coflow id.
+  std::unordered_map<fabric::CoflowId, std::vector<const fabric::Flow*>>
+      by_coflow;
+  for (const fabric::Flow* f : ctx.flows)
+    if (!f->done()) by_coflow[f->coflow].push_back(f);
+
+  std::vector<CoflowEstimate> estimates;
+  estimates.reserve(ctx.coflows.size());
+  for (fabric::Coflow* c : ctx.coflows) {
+    const auto it = by_coflow.find(c->id);
+    if (it == by_coflow.end()) continue;
+    CoflowEstimate est;
+    est.coflow = c;
+    est.flows = it->second;
+    est.beta.reserve(est.flows.size());
+
+    for (const fabric::Flow* f : est.flows) {
+      bool beta = false;
+      double headroom = 0.0;
+      const common::Bps bandwidth = flow_bottleneck(*f, *ctx.fabric);
+      if (ctx.codec != nullptr && ctx.cpu != nullptr) {
+        const CompressionDecision d = compression_strategy(
+            *f, *ctx.codec, *ctx.cpu, *ctx.fabric, ctx.now);
+        headroom = d.cpu_headroom;
+        beta = d.enabled ||
+               (force_compression && f->compressible &&
+                f->raw_remaining > fabric::kVolumeEpsilon &&
+                ctx.cpu->can_compress(f->src, ctx.now));
+      }
+      est.beta.push_back(beta);
+      // Eq. 7 needs a codec even when beta is false; the term vanishes.
+      const codec::CodecModel& model =
+          ctx.codec != nullptr ? *ctx.codec : codec::default_codec_model();
+      const common::Seconds fct =
+          expected_fct(*f, beta, model, headroom, bandwidth, ctx.slice);
+      est.gamma = std::max(est.gamma, fct);  // Eq. 8
+    }
+    est.adjusted_gamma =
+        online ? est.gamma / std::max(c->priority, 1.0) : est.gamma;
+    estimates.push_back(std::move(est));
+  }
+  return estimates;
+}
+
+fabric::Allocation fvdf_allocate(const sched::SchedContext& ctx, bool online,
+                                 bool backfill, bool force_compression) {
+  std::vector<CoflowEstimate> estimates =
+      time_calculation(ctx, online, force_compression);
+  std::stable_sort(estimates.begin(), estimates.end(),
+                   [](const CoflowEstimate& a, const CoflowEstimate& b) {
+                     if (a.adjusted_gamma != b.adjusted_gamma)
+                       return a.adjusted_gamma < b.adjusted_gamma;
+                     if (a.coflow->arrival != b.coflow->arrival)
+                       return a.coflow->arrival < b.coflow->arrival;
+                     return a.coflow->id < b.coflow->id;
+                   });
+
+  fabric::Allocation alloc;
+  fabric::PortHeadroom headroom(*ctx.fabric);
+
+  // Volume disposal (Pseudocode 2 lines 24-35): compressing flows use the
+  // CPU this round (rate 0, ports left to others); transmitting flows get
+  // the minimum rate that finishes them inside Gamma_C, capped by residual
+  // headroom. Later coflows see what is left, in order.
+  for (const CoflowEstimate& est : estimates) {
+    for (std::size_t i = 0; i < est.flows.size(); ++i) {
+      const fabric::Flow* f = est.flows[i];
+      if (est.beta[i]) {
+        alloc.set_compress(f->id, true);
+        alloc.set_rate(f->id, 0.0);
+        continue;
+      }
+      const common::Seconds gamma = std::max(est.gamma, ctx.slice);
+      const common::Bps want = f->volume() / gamma;
+      const common::Bps r = std::min(want, headroom.available(*f));
+      alloc.set_rate(f->id, r);
+      headroom.consume(*f, r);
+    }
+  }
+
+  if (backfill) {
+    // Work conservation: top transmitting flows up in coflow order.
+    for (const CoflowEstimate& est : estimates) {
+      for (std::size_t i = 0; i < est.flows.size(); ++i) {
+        if (est.beta[i]) continue;
+        const fabric::Flow* f = est.flows[i];
+        const common::Bps extra = headroom.available(*f);
+        if (extra <= 0) continue;
+        alloc.set_rate(f->id, alloc.rate(f->id) + extra);
+        headroom.consume(*f, extra);
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace swallow::core

@@ -1,0 +1,56 @@
+// Fastest-Volume-Disposal-First (the paper's Pseudocode 2).
+//
+// The offline primitives: per-flow expected FCT (Eq. 7), per-coflow expected
+// CCT (Eq. 8), and the rate assignment r = f.V / Gamma_C with
+// work-conserving backfill. The online wrapper (online.hpp) adds the
+// priority-class starvation protection.
+#pragma once
+
+#include <vector>
+
+#include "core/compression_strategy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace swallow::core {
+
+/// Eq. 1: volume disposed by one compression slice.
+common::Bytes delta_c(const codec::CodecModel& codec, common::Seconds slice,
+                      double cpu_headroom);
+
+/// Eq. 2: volume disposed by one transmission slice at bandwidth B.
+common::Bytes delta_t(common::Bps bandwidth, common::Seconds slice);
+
+/// Eq. 7: expected FCT assuming the worst case that compression is disabled
+/// after the current slice. `beta` is the compression decision for the
+/// coming slice.
+common::Seconds expected_fct(const fabric::Flow& flow, bool beta,
+                             const codec::CodecModel& codec,
+                             double cpu_headroom, common::Bps bandwidth,
+                             common::Seconds slice);
+
+struct CoflowEstimate {
+  fabric::Coflow* coflow = nullptr;
+  common::Seconds gamma = 0;           ///< Eq. 8 (raw, before priority)
+  common::Seconds adjusted_gamma = 0;  ///< gamma / coflow->priority
+  std::vector<const fabric::Flow*> flows;
+  std::vector<bool> beta;  ///< per-flow compression decision, aligned
+};
+
+/// TimeCalculation (Pseudocode 2 lines 12-23): evaluates the compression
+/// strategy for every flow of every coflow, computes Gamma_C, and, when
+/// `online`, divides by the coflow's priority class.
+std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
+                                             bool online,
+                                             bool force_compression = false);
+
+/// Full FVDF allocation: coflows ordered Shortest-(adjusted)-Gamma-first;
+/// each flow of an admitted coflow gets rate f.V / Gamma_C (volume
+/// disposal, line 29), compressing flows get rate 0 for the coming slices;
+/// residual capacity backfills later coflows, then a work-conserving pass.
+/// `force_compression` bypasses the Eq. 3 gate (ablation: compress blindly
+/// whenever the payload is compressible and raw bytes remain).
+fabric::Allocation fvdf_allocate(const sched::SchedContext& ctx, bool online,
+                                 bool backfill = true,
+                                 bool force_compression = false);
+
+}  // namespace swallow::core

@@ -1,0 +1,79 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace swallow::core {
+
+void upgrade_priorities(const sched::SchedContext& ctx) {
+  for (fabric::Coflow* c : ctx.coflows) {
+    if (c->priority < 1.0) c->priority = 1.0;
+    c->priority *= kPriorityLogBase;
+  }
+}
+
+FvdfScheduler::FvdfScheduler(FvdfOptions options) : options_(options) {}
+
+std::string FvdfScheduler::name() const {
+  std::string n = "FVDF";
+  if (!options_.compression) n += "-NC";
+  if (options_.force_compression) n += "-BLIND";
+  if (!options_.upgrade) n += "-NOUPGRADE";
+  if (!options_.backfill) n += "-NOBACKFILL";
+  return n;
+}
+
+fabric::Allocation FvdfScheduler::schedule(const sched::SchedContext& ctx) {
+  // Pseudocode 3's Upgrade targets "coflows waiting for scheduling": age
+  // only coflows that got no service out of the previous decision, at
+  // coflow arrival/completion events. Served coflows keep their class, so
+  // the Shortest-Gamma order is preserved while blocked coflows rise.
+  if (options_.upgrade && options_.online && ctx.coflow_event) {
+    for (fabric::Coflow* c : ctx.coflows) {
+      if (!starved_.count(c->id)) continue;
+      if (c->priority < 1.0) c->priority = 1.0;
+      c->priority *= kPriorityLogBase;
+    }
+  }
+
+  sched::SchedContext local = ctx;
+  if (!options_.compression) local.codec = nullptr;
+  const fabric::Allocation alloc =
+      fvdf_allocate(local, options_.online, options_.backfill,
+                    options_.force_compression);
+
+  starved_.clear();
+  for (const fabric::Coflow* c : ctx.coflows) starved_.insert(c->id);
+  for (const fabric::Flow* f : ctx.flows)
+    if (alloc.rate(f->id) > 0 || alloc.compress(f->id))
+      starved_.erase(f->coflow);
+  return alloc;
+}
+
+std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  FvdfOptions options;
+  if (key == "FVDF") return std::make_unique<FvdfScheduler>(options);
+  if (key == "FVDF-NC") {
+    options.compression = false;
+    return std::make_unique<FvdfScheduler>(options);
+  }
+  if (key == "FVDF-NOUPGRADE") {
+    options.upgrade = false;
+    return std::make_unique<FvdfScheduler>(options);
+  }
+  if (key == "FVDF-NOBACKFILL") {
+    options.backfill = false;
+    return std::make_unique<FvdfScheduler>(options);
+  }
+  if (key == "FVDF-BLIND") {
+    options.force_compression = true;
+    return std::make_unique<FvdfScheduler>(options);
+  }
+  throw std::out_of_range("make_fvdf: unknown variant " + name);
+}
+
+}  // namespace swallow::core

@@ -1,0 +1,53 @@
+// Online FVDF scheduler (the paper's Pseudocode 3) wrapped in the common
+// Scheduler interface, plus the priority-class Upgrade that guarantees
+// starvation freedom.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/fvdf.hpp"
+#include "sched/scheduler.hpp"
+
+namespace swallow::core {
+
+/// Pseudocode 3's logbase: each scheduling event multiplies every waiting
+/// coflow's priority class by this factor.
+inline constexpr double kPriorityLogBase = 1.2;
+
+/// Upgrade (Pseudocode 3 lines 15-23): bumps the priority class of every
+/// coflow in the context. The pseudocode applies this to "coflows waiting
+/// for scheduling"; FvdfScheduler therefore ages only coflows that received
+/// no service in its previous allocation (see DESIGN.md 4.2) and this
+/// helper is exposed for the uniform-aging building block.
+void upgrade_priorities(const sched::SchedContext& ctx);
+
+struct FvdfOptions {
+  bool online = true;            ///< divide Gamma_C by the priority class
+  bool upgrade = true;           ///< run Upgrade at every event
+  bool compression = true;       ///< allow beta = 1 (ablation knob)
+  bool backfill = true;          ///< work-conserving pass (ablation knob)
+  bool force_compression = false;  ///< bypass the Eq. 3 gate (ablation)
+};
+
+class FvdfScheduler final : public sched::Scheduler {
+ public:
+  explicit FvdfScheduler(FvdfOptions options = {});
+  std::string name() const override;
+  fabric::Allocation schedule(const sched::SchedContext& ctx) override;
+
+  const FvdfOptions& options() const { return options_; }
+
+ private:
+  FvdfOptions options_;
+  /// Coflows that got neither bandwidth nor compression in the previous
+  /// allocation: the "waiting" set whose priority classes age.
+  std::set<fabric::CoflowId> starved_;
+};
+
+/// Factory matching sched::make_baseline's shape. Recognized names:
+/// "FVDF" (full), "FVDF-NC" (compression off), "FVDF-NOUPGRADE",
+/// "FVDF-NOBACKFILL". Throws std::out_of_range otherwise.
+std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name);
+
+}  // namespace swallow::core

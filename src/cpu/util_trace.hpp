@@ -1,0 +1,44 @@
+// CPU-utilization trace generator reproducing the paper's Fig. 2: a worker
+// alternates compute phases (CPU-bound) and transfer phases (I/O-bound); at
+// low bandwidth the transfer phases stretch, so idle CPU periods dominate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace swallow::cpu {
+
+struct UtilSample {
+  common::Seconds t;
+  double utilization;  ///< in [0, 1]
+};
+
+struct UtilTraceConfig {
+  common::Bps bandwidth = 0;              ///< NIC speed during transfers
+  common::Seconds compute_time = 4.0;     ///< mean compute phase length
+  common::Bytes transfer_bytes = 0;       ///< mean bytes shuffled per phase
+  double compute_utilization = 0.92;
+  double transfer_utilization = 0.08;
+  /// Real transfers still show CPU spikes (deserialization, JVM GC): the
+  /// probability a transfer sample is busy anyway.
+  double transfer_spike_prob = 0.27;
+  /// Compute phases still show stalls (sync barriers, stragglers): the
+  /// probability a compute sample is idle anyway.
+  double compute_dip_prob = 0.15;
+  common::Seconds horizon = 120.0;
+  common::Seconds sample_period = 0.5;
+  std::uint64_t seed = 7;
+};
+
+/// Samples utilization over the horizon.
+std::vector<UtilSample> generate_util_trace(const UtilTraceConfig& config);
+
+/// Fraction of samples with utilization below `threshold` ("idle periods",
+/// the blank areas of Fig. 2).
+double idle_fraction(const std::vector<UtilSample>& trace,
+                     double threshold = 0.25);
+
+}  // namespace swallow::cpu

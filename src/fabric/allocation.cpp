@@ -1,0 +1,170 @@
+#include "fabric/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace swallow::fabric {
+
+void Allocation::set_rate(FlowId id, common::Bps rate) {
+  if (rate < 0) throw std::invalid_argument("Allocation: negative rate");
+  rates_[id] = rate;
+}
+
+common::Bps Allocation::rate(FlowId id) const {
+  const auto it = rates_.find(id);
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+void Allocation::set_compress(FlowId id, bool enabled) {
+  compress_[id] = enabled;
+}
+
+bool Allocation::compress(FlowId id) const {
+  const auto it = compress_.find(id);
+  return it != compress_.end() && it->second;
+}
+
+bool feasible(const Allocation& alloc, const std::vector<const Flow*>& flows,
+              const Fabric& fabric) {
+  std::vector<common::Bps> in_sum(fabric.num_ports(), 0.0);
+  std::vector<common::Bps> out_sum(fabric.num_ports(), 0.0);
+  for (const Flow* f : flows) {
+    const common::Bps r = alloc.rate(f->id);
+    in_sum[f->src] += r;
+    out_sum[f->dst] += r;
+  }
+  for (PortId p = 0; p < fabric.num_ports(); ++p) {
+    const double in_cap = fabric.ingress_capacity(p);
+    const double out_cap = fabric.egress_capacity(p);
+    if (in_sum[p] > in_cap * (1.0 + kFeasibilityTolerance)) return false;
+    if (out_sum[p] > out_cap * (1.0 + kFeasibilityTolerance)) return false;
+  }
+  return true;
+}
+
+PortHeadroom::PortHeadroom(const Fabric& fabric) {
+  ingress_.reserve(fabric.num_ports());
+  egress_.reserve(fabric.num_ports());
+  for (PortId p = 0; p < fabric.num_ports(); ++p) {
+    ingress_.push_back(fabric.ingress_capacity(p));
+    egress_.push_back(fabric.egress_capacity(p));
+  }
+}
+
+common::Bps PortHeadroom::available(const Flow& flow) const {
+  return std::max(0.0, std::min(ingress_.at(flow.src), egress_.at(flow.dst)));
+}
+
+void PortHeadroom::consume(const Flow& flow, common::Bps rate) {
+  ingress_.at(flow.src) = std::max(0.0, ingress_.at(flow.src) - rate);
+  egress_.at(flow.dst) = std::max(0.0, egress_.at(flow.dst) - rate);
+}
+
+Allocation weighted_max_min(const std::vector<const Flow*>& flows,
+                            const std::vector<double>& weights,
+                            const Fabric& fabric) {
+  if (flows.size() != weights.size())
+    throw std::invalid_argument("weighted_max_min: weight count mismatch");
+  Allocation alloc;
+  const std::size_t n = flows.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<bool> frozen(n, false);
+
+  // Progressive filling: raise every unfrozen flow's rate proportionally to
+  // its weight until a port saturates; freeze flows on saturated ports.
+  for (std::size_t round = 0; round < n; ++round) {
+    // Residual capacity and active weight per port.
+    std::vector<double> in_room(fabric.num_ports());
+    std::vector<double> out_room(fabric.num_ports());
+    for (PortId p = 0; p < fabric.num_ports(); ++p) {
+      in_room[p] = fabric.ingress_capacity(p);
+      out_room[p] = fabric.egress_capacity(p);
+    }
+    std::vector<double> in_weight(fabric.num_ports(), 0.0);
+    std::vector<double> out_weight(fabric.num_ports(), 0.0);
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      in_room[flows[i]->src] -= rate[i];
+      out_room[flows[i]->dst] -= rate[i];
+      if (!frozen[i]) {
+        const double w = std::max(weights[i], 1e-12);
+        in_weight[flows[i]->src] += w;
+        out_weight[flows[i]->dst] += w;
+        any_active = true;
+      }
+    }
+    if (!any_active) break;
+
+    // Largest uniform weight-multiplier step before some port saturates.
+    double step = std::numeric_limits<double>::infinity();
+    for (PortId p = 0; p < fabric.num_ports(); ++p) {
+      if (in_weight[p] > 0)
+        step = std::min(step, std::max(0.0, in_room[p]) / in_weight[p]);
+      if (out_weight[p] > 0)
+        step = std::min(step, std::max(0.0, out_room[p]) / out_weight[p]);
+    }
+    if (!std::isfinite(step)) break;
+
+    for (std::size_t i = 0; i < n; ++i)
+      if (!frozen[i]) rate[i] += step * std::max(weights[i], 1e-12);
+
+    // Freeze flows whose ports just saturated.
+    std::vector<double> in_used(fabric.num_ports(), 0.0);
+    std::vector<double> out_used(fabric.num_ports(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_used[flows[i]->src] += rate[i];
+      out_used[flows[i]->dst] += rate[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const PortId s = flows[i]->src, d = flows[i]->dst;
+      const bool in_full = in_used[s] >=
+          fabric.ingress_capacity(s) * (1.0 - kFeasibilityTolerance);
+      const bool out_full = out_used[d] >=
+          fabric.egress_capacity(d) * (1.0 - kFeasibilityTolerance);
+      if (in_full || out_full) frozen[i] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) alloc.set_rate(flows[i]->id, rate[i]);
+  return alloc;
+}
+
+Allocation strict_priority(const std::vector<const Flow*>& flows,
+                           const Fabric& fabric) {
+  Allocation alloc;
+  PortHeadroom headroom(fabric);
+  for (const Flow* f : flows) {
+    const common::Bps r = headroom.available(*f);
+    alloc.set_rate(f->id, r);
+    headroom.consume(*f, r);
+  }
+  return alloc;
+}
+
+void madd_into(Allocation& alloc, const std::vector<const Flow*>& coflow_flows,
+               common::Seconds gamma, PortHeadroom& headroom) {
+  if (gamma <= 0) throw std::invalid_argument("madd_into: non-positive gamma");
+  for (const Flow* f : coflow_flows) {
+    if (f->done()) continue;
+    const common::Bps want = f->volume() / gamma;
+    const common::Bps r = std::min(want, headroom.available(*f));
+    alloc.set_rate(f->id, alloc.rate(f->id) + r);
+    headroom.consume(*f, r);
+  }
+}
+
+void backfill_into(Allocation& alloc, const std::vector<const Flow*>& flows,
+                   PortHeadroom& headroom) {
+  for (const Flow* f : flows) {
+    if (f->done()) continue;
+    const common::Bps extra = headroom.available(*f);
+    if (extra <= 0) continue;
+    alloc.set_rate(f->id, alloc.rate(f->id) + extra);
+    headroom.consume(*f, extra);
+  }
+}
+
+}  // namespace swallow::fabric

@@ -1,0 +1,79 @@
+// Per-slice bandwidth allocations and the rate solvers the schedulers share.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/coflow.hpp"
+#include "fabric/fabric.hpp"
+
+namespace swallow::fabric {
+
+/// A scheduler's decision for one slice: per-flow transmit rates plus the
+/// per-flow compression switch (paper's beta).
+class Allocation {
+ public:
+  void set_rate(FlowId id, common::Bps rate);
+  common::Bps rate(FlowId id) const;  ///< 0 if unset
+
+  void set_compress(FlowId id, bool enabled);
+  bool compress(FlowId id) const;  ///< false if unset
+
+  std::size_t flow_count() const { return rates_.size(); }
+
+ private:
+  std::unordered_map<FlowId, common::Bps> rates_;
+  std::unordered_map<FlowId, bool> compress_;
+};
+
+/// Relative tolerance for capacity feasibility checks.
+inline constexpr double kFeasibilityTolerance = 1e-6;
+
+/// True iff per-port rate sums respect ingress and egress capacities.
+bool feasible(const Allocation& alloc, const std::vector<const Flow*>& flows,
+              const Fabric& fabric);
+
+/// Tracks residual port capacity while an allocation is built greedily.
+class PortHeadroom {
+ public:
+  explicit PortHeadroom(const Fabric& fabric);
+
+  /// Max rate flow (src -> dst) can still get: min of the two ports.
+  common::Bps available(const Flow& flow) const;
+  /// Consumes `rate` on both of the flow's ports (clamped at zero).
+  void consume(const Flow& flow, common::Bps rate);
+
+  common::Bps ingress(PortId p) const { return ingress_.at(p); }
+  common::Bps egress(PortId p) const { return egress_.at(p); }
+
+ private:
+  std::vector<common::Bps> ingress_;
+  std::vector<common::Bps> egress_;
+};
+
+/// Progressive-filling (weighted) max-min fairness under ingress+egress
+/// constraints. With unit weights this is the PFF/FAIR allocation; with
+/// volume weights it is Orchestra's WSS.
+Allocation weighted_max_min(const std::vector<const Flow*>& flows,
+                            const std::vector<double>& weights,
+                            const Fabric& fabric);
+
+/// Strict priority: walk `flows` in the given order, give each the full
+/// residual min(ingress, egress) of its ports (optionally capped). Used by
+/// FIFO (arrival order), PFP/SRTF (smallest remaining) and as the backfill
+/// pass of SEBF/FVDF.
+Allocation strict_priority(const std::vector<const Flow*>& flows,
+                           const Fabric& fabric);
+
+/// MADD (Varys): every flow of the coflow gets remaining/gamma so all finish
+/// together at `gamma`; rates are clamped to residual headroom in `headroom`
+/// and consumed from it.
+void madd_into(Allocation& alloc, const std::vector<const Flow*>& coflow_flows,
+               common::Seconds gamma, PortHeadroom& headroom);
+
+/// Work-conserving pass: walk flows in order and top each rate up to the
+/// residual headroom of its ports.
+void backfill_into(Allocation& alloc, const std::vector<const Flow*>& flows,
+                   PortHeadroom& headroom);
+
+}  // namespace swallow::fabric

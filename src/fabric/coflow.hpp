@@ -1,0 +1,90 @@
+// Flow and coflow state for the fluid simulator.
+//
+// A flow carries three byte pools: raw_remaining (not yet compressed or
+// sent), compressed_pending (compressed, awaiting the wire) and sent. The
+// paper's "volume" V = d + D is raw_remaining + compressed_pending; a flow
+// completes when its volume reaches zero (everything on the wire).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/fabric.hpp"
+
+namespace swallow::fabric {
+
+using FlowId = std::uint64_t;
+using CoflowId = std::uint64_t;
+using JobId = std::uint64_t;
+
+/// Volumes below this many bytes count as zero (fluid-model epsilon).
+inline constexpr common::Bytes kVolumeEpsilon = 1e-6;
+inline constexpr common::Seconds kNeverCompleted = -1.0;
+
+struct Flow {
+  FlowId id = 0;
+  CoflowId coflow = 0;
+  PortId src = 0;
+  PortId dst = 0;
+
+  common::Bytes original_bytes = 0;      ///< size at arrival (uncompressed)
+  common::Bytes raw_remaining = 0;       ///< paper's d
+  common::Bytes compressed_pending = 0;  ///< paper's D
+  common::Bytes sent = 0;                ///< bytes already on the wire
+  common::Bytes sent_compressed = 0;     ///< wire bytes that need decoding
+
+  common::Seconds arrival = 0;
+  common::Seconds completion = kNeverCompleted;
+
+  bool compressible = true;      ///< payload benefits from compression at all
+  bool compress_enabled = false; ///< paper's beta for the current slice
+  /// Per-flow compression ratio override; 0 = use the codec model's ratio.
+  double compress_ratio = 0;
+
+  /// The ratio this flow actually compresses at under `model_ratio`.
+  double effective_ratio(double model_ratio) const {
+    return compress_ratio > 0 ? compress_ratio : model_ratio;
+  }
+
+  /// Remaining volume V = d + D.
+  common::Bytes volume() const { return raw_remaining + compressed_pending; }
+  bool done() const { return volume() <= kVolumeEpsilon; }
+  bool completed() const { return completion >= 0; }
+};
+
+struct Coflow {
+  CoflowId id = 0;
+  JobId job = 0;
+  common::Seconds arrival = 0;
+  common::Seconds completion = kNeverCompleted;
+  double priority = 1.0;  ///< paper's P, upgraded by 1.2x at each event
+  std::vector<FlowId> flows;
+
+  bool completed() const { return completion >= 0; }
+};
+
+/// Read-only view of the flows of one coflow (resolved from ids).
+std::vector<const Flow*> flows_of(const Coflow& coflow,
+                                  const std::vector<Flow>& all_flows);
+
+/// Remaining volume of a coflow: sum over its unfinished flows.
+common::Bytes coflow_volume(const Coflow& coflow,
+                            const std::vector<Flow>& all_flows);
+
+/// Number of unfinished flows.
+std::size_t coflow_width(const Coflow& coflow,
+                         const std::vector<Flow>& all_flows);
+
+/// Varys' effective bottleneck: Gamma = max over ports of
+/// (remaining coflow bytes crossing that port) / (port capacity).
+common::Seconds coflow_bottleneck(const Coflow& coflow,
+                                  const std::vector<Flow>& all_flows,
+                                  const Fabric& fabric);
+
+/// Largest single remaining flow volume (used by the LCF interpretation).
+common::Bytes coflow_max_flow(const Coflow& coflow,
+                              const std::vector<Flow>& all_flows);
+
+}  // namespace swallow::fabric

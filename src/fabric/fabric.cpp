@@ -1,0 +1,29 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swallow::fabric {
+
+Fabric::Fabric(std::size_t ports, common::Bps capacity)
+    : ingress_(ports, capacity), egress_(ports, capacity) {
+  if (ports == 0) throw std::invalid_argument("Fabric: zero ports");
+  if (capacity <= 0) throw std::invalid_argument("Fabric: non-positive capacity");
+}
+
+Fabric::Fabric(std::vector<common::Bps> ingress, std::vector<common::Bps> egress)
+    : ingress_(std::move(ingress)), egress_(std::move(egress)) {
+  if (ingress_.empty() || ingress_.size() != egress_.size())
+    throw std::invalid_argument("Fabric: bad port vectors");
+  for (const auto v : ingress_)
+    if (v <= 0) throw std::invalid_argument("Fabric: non-positive ingress capacity");
+  for (const auto v : egress_)
+    if (v <= 0) throw std::invalid_argument("Fabric: non-positive egress capacity");
+}
+
+common::Bps Fabric::min_capacity() const {
+  return std::min(*std::min_element(ingress_.begin(), ingress_.end()),
+                  *std::min_element(egress_.begin(), egress_.end()));
+}
+
+}  // namespace swallow::fabric

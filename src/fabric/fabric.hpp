@@ -1,0 +1,37 @@
+// The paper's network model: the datacenter fabric abstracted as one big
+// non-blocking switch interconnecting N machines. Each machine contributes
+// one ingress (uplink/sender NIC) and one egress (downlink/receiver NIC)
+// port; congestion exists only at the ports (Fig. 3 of the paper, the model
+// Varys and most coflow work share).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace swallow::fabric {
+
+using PortId = std::uint32_t;
+
+class Fabric {
+ public:
+  /// Uniform fabric: `ports` machines, every NIC at `capacity` bytes/s.
+  Fabric(std::size_t ports, common::Bps capacity);
+
+  /// Heterogeneous fabric with per-machine ingress/egress capacities.
+  Fabric(std::vector<common::Bps> ingress, std::vector<common::Bps> egress);
+
+  std::size_t num_ports() const { return ingress_.size(); }
+  common::Bps ingress_capacity(PortId p) const { return ingress_.at(p); }
+  common::Bps egress_capacity(PortId p) const { return egress_.at(p); }
+
+  /// Minimum NIC speed in the fabric (used as the default "B" in examples).
+  common::Bps min_capacity() const;
+
+ private:
+  std::vector<common::Bps> ingress_;
+  std::vector<common::Bps> egress_;
+};
+
+}  // namespace swallow::fabric

@@ -1,0 +1,93 @@
+#include "runtime/block_store.hpp"
+
+#include <ctime>
+#include <cstring>
+
+namespace swallow::runtime {
+
+void BlockStore::put(BlockKey key, codec::Buffer data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resident_bytes_ += data.size();
+    auto [it, inserted] = blocks_.try_emplace(key, std::move(data));
+    if (!inserted) {
+      resident_bytes_ -= it->second.size();
+      it->second = std::move(data);
+    }
+  }
+  cv_.notify_all();
+}
+
+codec::Buffer BlockStore::take(BlockKey key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return blocks_.count(key) > 0; });
+  auto it = blocks_.find(key);
+  codec::Buffer data = std::move(it->second);
+  resident_bytes_ -= data.size();
+  blocks_.erase(it);
+  return data;
+}
+
+std::size_t BlockStore::drop_coflow(CoflowRef coflow) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t freed = 0;
+  for (auto it = blocks_.lower_bound({coflow, 0});
+       it != blocks_.end() && it->first.coflow == coflow;) {
+    freed += it->second.size();
+    it = blocks_.erase(it);
+  }
+  resident_bytes_ -= freed;
+  return freed;
+}
+
+std::size_t BlockStore::block_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+std::size_t BlockStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+codec::Buffer BufferPool::allocate(std::size_t bytes) {
+  codec::Buffer buffer(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.allocations;
+  stats_.bytes_allocated += bytes;
+  return buffer;
+}
+
+void BufferPool::release(codec::Buffer buffer) {
+  // Thread CPU time: reclaim cost must not include preemption by the
+  // transfer threads sharing the core.
+  timespec ts0{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts0);
+  // Scrub before returning memory: byte-proportional reclaim work, the
+  // runtime's analog of a collector touching the dead buffer.
+  if (!buffer.empty()) std::memset(buffer.data(), 0, buffer.size());
+  const std::size_t bytes = buffer.size();
+  buffer.clear();
+  buffer.shrink_to_fit();
+  timespec ts1{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts1);
+  const double elapsed = static_cast<double>(ts1.tv_sec - ts0.tv_sec) +
+                         static_cast<double>(ts1.tv_nsec - ts0.tv_nsec) * 1e-9;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  stats_.bytes_released += bytes;
+  stats_.reclaim_time += elapsed;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = {};
+}
+
+}  // namespace swallow::runtime

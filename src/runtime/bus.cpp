@@ -1,0 +1,3 @@
+// Channel<T> is header-only; this translation unit anchors the library and
+// holds nothing else.
+#include "runtime/bus.hpp"

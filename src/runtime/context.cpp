@@ -1,0 +1,106 @@
+#include "runtime/context.hpp"
+
+#include <stdexcept>
+
+#include "codec/frame.hpp"
+#include "codec/null_codec.hpp"
+
+namespace swallow::runtime {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      codec_(codec::make_codec(config.codec)),
+      master_(config.nic_rate, config.codec_model, config.cpu_headroom,
+              config.smart_compress) {
+  if (config.num_workers == 0)
+    throw std::invalid_argument("Cluster: zero workers");
+  workers_.reserve(config.num_workers);
+  for (std::size_t i = 0; i < config.num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<WorkerId>(i), config.nic_rate));
+}
+
+Worker& Cluster::worker(WorkerId id) { return *workers_.at(id); }
+
+std::size_t Cluster::total_wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->wire_bytes_sent();
+  return total;
+}
+
+std::size_t Cluster::total_raw_bytes() const {
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->raw_bytes_sent();
+  return total;
+}
+
+std::vector<FlowInfo> SwallowContext::hook(WorkerId executor) {
+  return cluster_->worker(executor).drain_registrations();
+}
+
+CoflowInfo SwallowContext::aggregate(std::vector<FlowInfo> flows) {
+  CoflowInfo info;
+  info.flows = std::move(flows);
+  return info;
+}
+
+CoflowRef SwallowContext::add(CoflowInfo info) {
+  return cluster_->master().add(std::move(info));
+}
+
+void SwallowContext::remove(CoflowRef ref) {
+  cluster_->master().remove(ref);
+  for (WorkerId w = 0; w < cluster_->size(); ++w)
+    cluster_->worker(w).store().drop_coflow(ref);
+}
+
+SchedResult SwallowContext::scheduling(const std::vector<CoflowRef>& refs) {
+  return cluster_->master().scheduling(refs);
+}
+
+void SwallowContext::alloc(const SchedResult& result) {
+  cluster_->master().alloc(result);
+}
+
+void SwallowContext::push(CoflowRef ref, BlockId block,
+                          std::span<const std::uint8_t> data, WorkerId src,
+                          WorkerId dst) {
+  Worker& sender = cluster_->worker(src);
+  Worker& receiver = cluster_->worker(dst);
+
+  // blockId encodes the flow: the master keyed its decision on it. Blocks
+  // travel as checksummed frames (codec/frame.hpp), so wire corruption is
+  // detected at pull time rather than silently reducing garbage.
+  const FlowDecision decision = cluster_->master().decision_of(block);
+  codec::Buffer wire;
+  if (decision.compress) {
+    wire = codec::frame_compress(cluster_->codec(), data);
+  } else {
+    const codec::NullCodec null;
+    wire = codec::frame_compress(null, data);
+  }
+
+  // Size the transfer buffer to the payload (receive buffers hold exactly
+  // what crossed the wire, which is what compression shrinks).
+  wire.shrink_to_fit();
+
+  const std::uint64_t rank = cluster_->master().rank_of(ref);
+  sender.egress_gate().acquire(rank);
+  sender.egress().acquire(wire.size());
+  receiver.ingress().acquire(wire.size());
+  sender.egress_gate().release();
+
+  sender.account_transfer(data.size(), wire.size());
+  receiver.store().put(BlockKey{ref, block}, std::move(wire));
+}
+
+codec::Buffer SwallowContext::pull(CoflowRef ref, BlockId block, WorkerId dst,
+                                   BufferPool* wire_reclaim) {
+  codec::Buffer wire =
+      cluster_->worker(dst).store().take(BlockKey{ref, block});
+  codec::Buffer data = codec::frame_decompress(wire);
+  if (wire_reclaim != nullptr) wire_reclaim->release(std::move(wire));
+  return data;
+}
+
+}  // namespace swallow::runtime

@@ -1,0 +1,87 @@
+// SwallowContext: the Table IV programming API, backed by an in-process
+// cluster. Cluster frameworks drive shuffles exactly as the paper's Scala
+// snippet does:
+//
+//   auto flow_info  = ctx.hook(executor);          // Driver
+//   auto coflow     = ctx.aggregate(flow_info);    // Driver
+//   auto ref        = ctx.add(coflow);             // Driver
+//   auto result     = ctx.scheduling({ref});       // Driver
+//   ctx.alloc(result);                             // ClusterManager
+//   ctx.push(ref, block_id, data, src, dst);       // Sender
+//   auto data       = ctx.pull(ref, block_id, dst);// Receiver
+//   ctx.remove(ref);                               // Driver
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "runtime/master.hpp"
+#include "runtime/worker.hpp"
+
+namespace swallow::runtime {
+
+struct ClusterConfig {
+  std::size_t num_workers = 4;
+  common::Bps nic_rate = 64.0 * 1024 * 1024;  ///< 64 MiB/s keeps tests brisk
+  codec::CodecKind codec = codec::CodecKind::kLzBalanced;
+  /// The swallow.smartCompress option of the paper's library.
+  bool smart_compress = true;
+  /// Assumed idle CPU share feeding Eq. 3 (R_eff = R * headroom).
+  double cpu_headroom = 0.9;
+  /// (R, xi) model for the compression gate; defaults to Table II's LZ4.
+  codec::CodecModel codec_model = codec::default_codec_model();
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  std::size_t size() const { return workers_.size(); }
+  Worker& worker(WorkerId id);
+  Master& master() { return master_; }
+  const ClusterConfig& config() const { return config_; }
+  const codec::Codec& codec() const { return *codec_; }
+
+  /// Cluster-wide traffic totals (sum over workers).
+  std::size_t total_wire_bytes() const;
+  std::size_t total_raw_bytes() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<codec::Codec> codec_;
+  Master master_;
+};
+
+class SwallowContext {
+ public:
+  explicit SwallowContext(Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Drains the flow registrations of one executor (worker).
+  std::vector<FlowInfo> hook(WorkerId executor);
+  /// Merges flow infos into one coflow.
+  CoflowInfo aggregate(std::vector<FlowInfo> flows);
+  CoflowRef add(CoflowInfo info);
+  void remove(CoflowRef ref);
+  SchedResult scheduling(const std::vector<CoflowRef>& refs);
+  void alloc(const SchedResult& result);
+
+  /// Sender side: optionally compresses, waits for the coflow's turn on the
+  /// source egress port, moves the bytes through both NIC limiters, and
+  /// lands the block in the destination's store. Blocking.
+  void push(CoflowRef ref, BlockId block, std::span<const std::uint8_t> data,
+            WorkerId src, WorkerId dst);
+
+  /// Receiver side: blocks until the block arrives, decompresses if needed.
+  /// When `wire_reclaim` is given, the wire buffer (compressed when the
+  /// master enabled compression) is released through it after decoding —
+  /// the receiver-side reclamation that Table VIII's GC analog measures.
+  codec::Buffer pull(CoflowRef ref, BlockId block, WorkerId dst,
+                     BufferPool* wire_reclaim = nullptr);
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace swallow::runtime

@@ -1,0 +1,119 @@
+#include "runtime/master.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/online.hpp"
+
+namespace swallow::runtime {
+
+std::size_t CoflowInfo::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : flows) total += f.bytes;
+  return total;
+}
+
+Master::Master(common::Bps nic_rate, codec::CodecModel codec,
+               double cpu_headroom, bool compression)
+    : nic_rate_(nic_rate),
+      codec_(std::move(codec)),
+      cpu_headroom_(cpu_headroom),
+      compression_(compression) {
+  if (nic_rate <= 0) throw std::invalid_argument("Master: non-positive NIC rate");
+}
+
+CoflowRef Master::add(CoflowInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CoflowRef ref = next_ref_++;
+  info.ref = ref;
+  coflows_[ref] = Entry{std::move(info), 1.0};
+  return ref;
+}
+
+void Master::remove(CoflowRef ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = coflows_.find(ref);
+  if (it == coflows_.end()) return;
+  for (const auto& f : it->second.info.flows) decisions_.erase(f.flow_id);
+  coflows_.erase(it);
+  ranks_.erase(ref);
+}
+
+SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedResult result;
+
+  struct Scored {
+    CoflowRef ref;
+    double gamma;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(refs.size());
+
+  for (const CoflowRef ref : refs) {
+    const auto it = coflows_.find(ref);
+    if (it == coflows_.end())
+      throw std::out_of_range("Master::scheduling: unknown coflow ref");
+    Entry& entry = it->second;
+    // Pseudocode 3 Upgrade: every scheduling event bumps priority classes.
+    entry.priority *= core::kPriorityLogBase;
+
+    double gamma = 0;
+    for (const auto& f : entry.info.flows) {
+      // Eq. 3 gate against the NIC bottleneck B.
+      const bool beta = compression_ && f.compressible &&
+                        cpu_headroom_ >= cpu::kMinCompressionHeadroom &&
+                        codec_.beats_bandwidth(nic_rate_, cpu_headroom_);
+      const double volume =
+          beta ? static_cast<double>(f.bytes) * codec_.ratio
+               : static_cast<double>(f.bytes);
+      // Expected flow time: compression pipeline then the wire.
+      const double compress_time =
+          beta ? static_cast<double>(f.bytes) /
+                     (codec_.compress_speed * cpu_headroom_)
+               : 0.0;
+      gamma = std::max(gamma, compress_time + volume / nic_rate_);
+      result.decisions[f.flow_id] = FlowDecision{beta, nic_rate_};
+    }
+    scored.push_back({ref, gamma / entry.priority});
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.gamma != b.gamma) return a.gamma < b.gamma;
+                     return a.ref < b.ref;
+                   });
+  result.order.reserve(scored.size());
+  for (const auto& s : scored) result.order.push_back(s.ref);
+  return result;
+}
+
+void Master::alloc(const SchedResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ranks_.clear();
+  for (std::size_t i = 0; i < result.order.size(); ++i)
+    ranks_[result.order[i]] = i;
+  for (const auto& [flow, decision] : result.decisions)
+    decisions_[flow] = decision;
+}
+
+std::uint64_t Master::rank_of(CoflowRef ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ranks_.find(ref);
+  if (it != ranks_.end()) return it->second;
+  // Unscheduled coflows queue behind scheduled ones, ordered by ref.
+  return 1'000'000 + ref;
+}
+
+FlowDecision Master::decision_of(RtFlowId flow) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = decisions_.find(flow);
+  return it == decisions_.end() ? FlowDecision{} : it->second;
+}
+
+std::size_t Master::active_coflows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coflows_.size();
+}
+
+}  // namespace swallow::runtime

@@ -1,0 +1,82 @@
+// The Swallow master: aggregates coflow information from the workers and
+// turns the FVDF heuristic into runtime decisions — a coflow service order
+// (ranks for the port gates) and a per-flow compression switch (Eq. 3
+// against the cluster's NIC speed and measured codec parameters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "codec/codec_model.hpp"
+#include "runtime/worker.hpp"
+
+namespace swallow::runtime {
+
+/// Aggregated coflow information (Table IV: output of aggregate()).
+struct CoflowInfo {
+  CoflowRef ref = 0;  ///< assigned by Master::add
+  std::vector<FlowInfo> flows;
+  std::size_t total_bytes() const;
+};
+
+struct FlowDecision {
+  bool compress = false;
+  common::Bps rate = 0;  ///< advisory per-flow rate (NIC-capped)
+};
+
+/// Output of scheduling() (Table IV's schResult): the coflow service order
+/// and the per-flow decisions.
+struct SchedResult {
+  std::vector<CoflowRef> order;  ///< highest priority first
+  std::map<RtFlowId, FlowDecision> decisions;
+};
+
+class Master {
+ public:
+  /// `nic_rate` is the per-worker NIC speed (the B of Eq. 3); `codec` the
+  /// model whose (R, xi) gate compression; `cpu_headroom` the assumed idle
+  /// CPU share; `compression` mirrors swallow.smartCompress.
+  Master(common::Bps nic_rate, codec::CodecModel codec, double cpu_headroom,
+         bool compression);
+
+  CoflowRef add(CoflowInfo info);
+  void remove(CoflowRef ref);
+
+  /// FVDF: coflows ordered by expected completion (volume after optional
+  /// compression over the NIC bottleneck), shortest first, adjusted by the
+  /// priority classes which are upgraded on every call (Pseudocode 3).
+  SchedResult scheduling(const std::vector<CoflowRef>& refs);
+
+  /// Applies a scheduling result: ranks become the port-gate priorities.
+  void alloc(const SchedResult& result);
+
+  /// Gate rank of a coflow (position in the last applied order; coflows
+  /// never scheduled sort after scheduled ones, by ref).
+  std::uint64_t rank_of(CoflowRef ref) const;
+
+  /// Compression decision for a flow (false if never scheduled).
+  FlowDecision decision_of(RtFlowId flow) const;
+
+  std::size_t active_coflows() const;
+
+ private:
+  struct Entry {
+    CoflowInfo info;
+    double priority = 1.0;
+  };
+
+  mutable std::mutex mutex_;
+  common::Bps nic_rate_;
+  codec::CodecModel codec_;
+  double cpu_headroom_;
+  bool compression_;
+  CoflowRef next_ref_ = 1;
+  std::map<CoflowRef, Entry> coflows_;
+  std::map<CoflowRef, std::uint64_t> ranks_;
+  std::map<RtFlowId, FlowDecision> decisions_;
+};
+
+}  // namespace swallow::runtime

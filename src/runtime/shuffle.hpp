@@ -1,0 +1,56 @@
+// End-to-end shuffle engine: runs a map -> shuffle -> reduce job over the
+// in-process cluster through the SwallowContext API, with real payloads,
+// real compression and payload verification. Backs the deployment-style
+// experiments (Fig. 7(a), Table VII, Table VIII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codec/synth_data.hpp"
+#include "runtime/context.hpp"
+
+namespace swallow::runtime {
+
+struct ShuffleJobConfig {
+  codec::AppProfile app;                 ///< payload generator (Table I app)
+  std::size_t mappers = 4;
+  std::size_t reducers = 2;
+  std::size_t bytes_per_partition = 64 * 1024;
+  /// Result stage ("save output as Hadoop files", Fig. 7(a)): each reducer
+  /// writes its output to this many replica workers over the network.
+  /// 0 disables the stage.
+  std::size_t result_replicas = 0;
+  std::uint64_t seed = 1;
+};
+
+struct ShuffleReport {
+  std::string app;
+  common::Seconds map_time = 0;      ///< payload generation (map stage)
+  common::Seconds shuffle_time = 0;  ///< concurrent push+pull wall time
+  common::Seconds reduce_time = 0;   ///< reduce aggregation CPU time
+  common::Seconds result_time = 0;   ///< replica writes (0 if disabled)
+  common::Seconds jct = 0;           ///< total job completion time
+
+  std::size_t raw_bytes = 0;   ///< payload bytes the job shuffled
+  std::size_t wire_bytes = 0;  ///< bytes that crossed the (rate-limited) wire
+
+  BufferPool::Stats map_pool;     ///< sender-side (raw partition) reclamation
+  BufferPool::Stats reduce_pool;  ///< receiver-side (wire buffer) reclamation:
+                                  ///< shrinks with compression (Table VIII)
+
+  bool verified = false;  ///< every block matched its pre-shuffle checksum
+
+  double traffic_reduction() const {
+    return raw_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(wire_bytes) /
+                           static_cast<double>(raw_bytes);
+  }
+};
+
+/// Runs one job; mappers live on workers [0..mappers), reducers on workers
+/// ((mapper_count + j) mod cluster size). Throws on verification failure.
+ShuffleReport run_shuffle_job(Cluster& cluster, const ShuffleJobConfig& config);
+
+}  // namespace swallow::runtime

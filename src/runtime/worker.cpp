@@ -1,0 +1,41 @@
+#include "runtime/worker.hpp"
+
+namespace swallow::runtime {
+
+void PortGate::acquire(std::uint64_t rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = waiters_.insert(rank);
+  cv_.wait(lock, [&] { return !busy_ && waiters_.begin() == it; });
+  waiters_.erase(it);
+  busy_ = true;
+}
+
+void PortGate::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    busy_ = false;
+  }
+  cv_.notify_all();
+}
+
+Worker::Worker(WorkerId id, common::Bps nic_rate)
+    : id_(id), egress_(nic_rate), ingress_(nic_rate) {}
+
+void Worker::register_flow(const FlowInfo& info) {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  registrations_.push_back(info);
+}
+
+std::vector<FlowInfo> Worker::drain_registrations() {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  std::vector<FlowInfo> out;
+  out.swap(registrations_);
+  return out;
+}
+
+void Worker::account_transfer(std::size_t raw_bytes, std::size_t wire_bytes) {
+  raw_bytes_.fetch_add(raw_bytes);
+  wire_bytes_.fetch_add(wire_bytes);
+}
+
+}  // namespace swallow::runtime

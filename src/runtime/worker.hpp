@@ -1,0 +1,80 @@
+// A Swallow worker: one "machine" of the in-process cluster. Passive owner
+// of the machine's block store, NIC rate limiters, the priority gate that
+// serializes its egress port in coflow order, and the pending flow
+// registrations the driver collects via hook().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "runtime/block_store.hpp"
+#include "runtime/rate_limiter.hpp"
+
+namespace swallow::runtime {
+
+using WorkerId = std::uint32_t;
+using RtFlowId = std::uint64_t;
+
+/// Flow metadata a sender registers before shuffling (Table IV: the
+/// flowInfo array returned by hook()).
+struct FlowInfo {
+  RtFlowId flow_id = 0;
+  CoflowRef coflow = 0;
+  WorkerId src = 0;
+  WorkerId dst = 0;
+  std::size_t bytes = 0;
+  bool compressible = true;
+};
+
+/// Serializes transfers through a port in scheduling-priority order: the
+/// waiter with the smallest rank proceeds when the port frees up.
+class PortGate {
+ public:
+  void acquire(std::uint64_t rank);
+  void release();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool busy_ = false;
+  std::multiset<std::uint64_t> waiters_;
+};
+
+class Worker {
+ public:
+  Worker(WorkerId id, common::Bps nic_rate);
+
+  WorkerId id() const { return id_; }
+  BlockStore& store() { return store_; }
+  RateLimiter& egress() { return egress_; }
+  RateLimiter& ingress() { return ingress_; }
+  PortGate& egress_gate() { return egress_gate_; }
+
+  /// Sender-side registration; drained by SwallowContext::hook().
+  void register_flow(const FlowInfo& info);
+  std::vector<FlowInfo> drain_registrations();
+
+  /// Traffic counters (bytes): what went on the wire vs the raw payload.
+  void account_transfer(std::size_t raw_bytes, std::size_t wire_bytes);
+  std::size_t wire_bytes_sent() const { return wire_bytes_.load(); }
+  std::size_t raw_bytes_sent() const { return raw_bytes_.load(); }
+
+ private:
+  WorkerId id_;
+  BlockStore store_;
+  RateLimiter egress_;
+  RateLimiter ingress_;
+  PortGate egress_gate_;
+
+  std::mutex reg_mutex_;
+  std::vector<FlowInfo> registrations_;
+
+  std::atomic<std::size_t> wire_bytes_{0};
+  std::atomic<std::size_t> raw_bytes_{0};
+};
+
+}  // namespace swallow::runtime

@@ -1,0 +1,51 @@
+#include "sched/aalo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace swallow::sched {
+
+AaloScheduler::AaloScheduler() : AaloScheduler(Config{}) {}
+
+AaloScheduler::AaloScheduler(Config config) : config_(config) {
+  if (config_.first_threshold <= 0 || config_.threshold_factor <= 1.0 ||
+      config_.num_queues == 0)
+    throw std::invalid_argument("AaloScheduler: bad queue configuration");
+}
+
+std::size_t AaloScheduler::queue_of(common::Bytes sent) const {
+  common::Bytes threshold = config_.first_threshold;
+  for (std::size_t q = 0; q + 1 < config_.num_queues; ++q) {
+    if (sent < threshold) return q;
+    threshold *= config_.threshold_factor;
+  }
+  return config_.num_queues - 1;
+}
+
+fabric::Allocation AaloScheduler::schedule(const SchedContext& ctx) {
+  // Attained service per coflow: bytes already on the wire.
+  std::unordered_map<fabric::CoflowId, common::Bytes> sent;
+  for (const fabric::Flow* f : ctx.flows) sent[f->coflow] += f->sent;
+
+  // Order coflows by (queue, arrival, id): strict priority across queues,
+  // FIFO within a queue.
+  std::vector<fabric::Coflow*> order = ctx.coflows;
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&](const fabric::Coflow* a, const fabric::Coflow* b) {
+        const std::size_t qa = queue_of(sent[a->id]);
+        const std::size_t qb = queue_of(sent[b->id]);
+        if (qa != qb) return qa < qb;
+        if (a->arrival != b->arrival) return a->arrival < b->arrival;
+        return a->id < b->id;
+      });
+
+  std::vector<fabric::CoflowId> ids;
+  ids.reserve(order.size());
+  for (const fabric::Coflow* c : order) ids.push_back(c->id);
+  return fabric::strict_priority(order_flows_by_coflow(ctx, ids),
+                                 *ctx.fabric);
+}
+
+}  // namespace swallow::sched

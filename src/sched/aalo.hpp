@@ -1,0 +1,39 @@
+// Aalo-style Discretized Coflow-Aware Least-Attained-Service (D-CLAS).
+//
+// The paper cites Aalo ("Efficient coflow scheduling without prior
+// knowledge", SIGCOMM'15) as the info-agnostic alternative to Varys; we
+// implement it as an extension baseline. Coflows live in priority queues
+// indexed by the bytes they have already transmitted: a coflow starts in
+// the highest-priority queue and is demoted each time its sent bytes cross
+// the next geometric threshold. Scheduling is strict priority across
+// queues and FIFO within a queue, work-conserving.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class AaloScheduler final : public Scheduler {
+ public:
+  struct Config {
+    /// First demotion threshold (bytes sent); Aalo's default is 10 MB.
+    common::Bytes first_threshold = 10.0 * 1024 * 1024;
+    /// Multiplier between consecutive queue thresholds (Aalo's E).
+    double threshold_factor = 10.0;
+    /// Number of queues (the last one is unbounded).
+    std::size_t num_queues = 10;
+  };
+
+  AaloScheduler();  ///< Aalo defaults: 10 MB first threshold, E = 10
+  explicit AaloScheduler(Config config);
+  std::string name() const override { return "AALO"; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+  /// Queue index for a coflow that has transmitted `sent` bytes.
+  std::size_t queue_of(common::Bytes sent) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace swallow::sched

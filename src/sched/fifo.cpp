@@ -1,0 +1,17 @@
+#include "sched/fifo.hpp"
+
+#include <algorithm>
+
+namespace swallow::sched {
+
+fabric::Allocation FifoScheduler::schedule(const SchedContext& ctx) {
+  std::vector<const fabric::Flow*> ordered = ctx.flows;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const fabric::Flow* a, const fabric::Flow* b) {
+                     if (a->arrival != b->arrival) return a->arrival < b->arrival;
+                     return a->id < b->id;
+                   });
+  return fabric::strict_priority(ordered, *ctx.fabric);
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,16 @@
+// First-In First-Out: flows served strictly in arrival order; the head of
+// each port gets the full residual capacity. The paper's head-of-line
+// blocking baseline (Spark's default queue behaves this way).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+};
+
+}  // namespace swallow::sched

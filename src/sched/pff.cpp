@@ -1,0 +1,10 @@
+#include "sched/pff.hpp"
+
+namespace swallow::sched {
+
+fabric::Allocation PffScheduler::schedule(const SchedContext& ctx) {
+  const std::vector<double> weights(ctx.flows.size(), 1.0);
+  return fabric::weighted_max_min(ctx.flows, weights, *ctx.fabric);
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,20 @@
+// Per-Flow Fairness: max-min fair shares across all active flows, the
+// behaviour of per-flow TCP fairness and of Spark's FAIR scheduler at the
+// network level.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class PffScheduler final : public Scheduler {
+ public:
+  explicit PffScheduler(std::string label = "PFF") : label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+ private:
+  std::string label_;
+};
+
+}  // namespace swallow::sched

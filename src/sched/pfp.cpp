@@ -1,0 +1,18 @@
+#include "sched/pfp.hpp"
+
+#include <algorithm>
+
+namespace swallow::sched {
+
+fabric::Allocation PfpScheduler::schedule(const SchedContext& ctx) {
+  std::vector<const fabric::Flow*> ordered = ctx.flows;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const fabric::Flow* a, const fabric::Flow* b) {
+                     if (a->volume() != b->volume())
+                       return a->volume() < b->volume();
+                     return a->id < b->id;
+                   });
+  return fabric::strict_priority(ordered, *ctx.fabric);
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,20 @@
+// Per-Flow Prioritization: strict smallest-remaining-flow-first (the SRTF
+// policy of pFabric/PDQ), provably optimal for average FCT on a single link
+// but coflow-agnostic.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class PfpScheduler final : public Scheduler {
+ public:
+  explicit PfpScheduler(std::string label = "PFP") : label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+ private:
+  std::string label_;
+};
+
+}  // namespace swallow::sched

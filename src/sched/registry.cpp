@@ -1,0 +1,49 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "sched/aalo.hpp"
+#include "sched/fifo.hpp"
+#include "sched/pff.hpp"
+#include "sched/pfp.hpp"
+#include "sched/sebf.hpp"
+#include "sched/sincronia.hpp"
+#include "sched/size_order.hpp"
+#include "sched/wss.hpp"
+
+namespace swallow::sched {
+
+std::unique_ptr<Scheduler> make_baseline(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (key == "FIFO") return std::make_unique<FifoScheduler>();
+  if (key == "AALO") return std::make_unique<AaloScheduler>();
+  if (key == "SINCRONIA" || key == "BSSI")
+    return std::make_unique<SincroniaScheduler>();
+  if (key == "PFF") return std::make_unique<PffScheduler>("PFF");
+  if (key == "FAIR") return std::make_unique<PffScheduler>("FAIR");
+  if (key == "WSS") return std::make_unique<WssScheduler>();
+  if (key == "PFP") return std::make_unique<PfpScheduler>("PFP");
+  if (key == "SRTF") return std::make_unique<PfpScheduler>("SRTF");
+  if (key == "SEBF") return std::make_unique<SebfScheduler>();
+  if (key == "SEBF-NOBACKFILL") return std::make_unique<SebfScheduler>(false);
+  if (key == "SCF")
+    return std::make_unique<SizeOrderScheduler>(CoflowSizeKey::kTotalBytes,
+                                                "SCF");
+  if (key == "NCF")
+    return std::make_unique<SizeOrderScheduler>(CoflowSizeKey::kWidth, "NCF");
+  if (key == "LCF")
+    return std::make_unique<SizeOrderScheduler>(CoflowSizeKey::kMaxFlow,
+                                                "LCF");
+  throw std::out_of_range("make_baseline: unknown scheduler " + name);
+}
+
+std::vector<std::string> baseline_names() {
+  return {"FIFO", "PFF",  "WSS", "PFP",       "SEBF",
+          "SCF",  "NCF",  "LCF", "AALO",      "SINCRONIA"};
+}
+
+}  // namespace swallow::sched

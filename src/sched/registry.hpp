@@ -1,0 +1,23 @@
+// Factory for the baseline schedulers by name. FVDF lives in core/ (it needs
+// the codec and CPU substrates); sim/experiment.hpp exposes a combined
+// factory covering everything.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+/// Known baseline names: FIFO, PFF, FAIR, WSS, PFP, SRTF, SEBF, SCF, NCF,
+/// LCF, AALO (case-insensitive). FAIR is PFF relabelled, SRTF is PFP relabelled
+/// (the paper uses both vocabularies for the flow-level and Spark contexts).
+/// Throws std::out_of_range for unknown names.
+std::unique_ptr<Scheduler> make_baseline(const std::string& name);
+
+/// All distinct baseline names (aliases excluded).
+std::vector<std::string> baseline_names();
+
+}  // namespace swallow::sched

@@ -1,0 +1,31 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace swallow::sched {
+
+std::vector<const fabric::Flow*> order_flows_by_coflow(
+    const SchedContext& ctx,
+    const std::vector<fabric::CoflowId>& coflow_order) {
+  std::unordered_map<fabric::CoflowId, std::size_t> rank;
+  rank.reserve(coflow_order.size());
+  for (std::size_t i = 0; i < coflow_order.size(); ++i)
+    rank[coflow_order[i]] = i;
+
+  std::vector<const fabric::Flow*> ordered = ctx.flows;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&rank](const fabric::Flow* a, const fabric::Flow* b) {
+                     const auto ra = rank.find(a->coflow);
+                     const auto rb = rank.find(b->coflow);
+                     const std::size_t ka =
+                         ra == rank.end() ? rank.size() : ra->second;
+                     const std::size_t kb =
+                         rb == rank.end() ? rank.size() : rb->second;
+                     if (ka != kb) return ka < kb;
+                     return a->id < b->id;
+                   });
+  return ordered;
+}
+
+}  // namespace swallow::sched

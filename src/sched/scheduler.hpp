@@ -1,0 +1,52 @@
+// Scheduler interface shared by the baselines and FVDF.
+//
+// The simulation engine invokes schedule() at every preemption point (coflow
+// arrival, flow/coflow completion, compression-finished) observed at a slice
+// boundary. A scheduler returns a complete Allocation: per-flow transmit
+// rates plus the per-flow compression switch. Only FVDF ever enables
+// compression; the paper's baselines are pure transmission schedulers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/codec_model.hpp"
+#include "cpu/cpu_model.hpp"
+#include "fabric/allocation.hpp"
+#include "fabric/coflow.hpp"
+#include "fabric/fabric.hpp"
+
+namespace swallow::sched {
+
+struct SchedContext {
+  const fabric::Fabric* fabric = nullptr;
+  const cpu::CpuProvider* cpu = nullptr;
+  common::Seconds now = 0;
+  common::Seconds slice = common::kDefaultSlice;
+  /// Unfinished flows of arrived coflows.
+  std::vector<const fabric::Flow*> flows;
+  /// Arrived, uncompleted coflows. Mutable: FVDF updates priority classes.
+  std::vector<fabric::Coflow*> coflows;
+  /// Codec available for compression; nullptr disables compression globally.
+  const codec::CodecModel* codec = nullptr;
+  /// True when this preemption point is a coflow arrival or completion
+  /// (the paper's Pseudocode 3 upgrades priority classes only then; flow
+  /// completions and compression-finished events reschedule without aging).
+  bool coflow_event = true;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual fabric::Allocation schedule(const SchedContext& ctx) = 0;
+};
+
+/// Flows sorted by a coflow-level key: every flow of the first coflow
+/// precedes every flow of the second, flows within a coflow keep id order.
+/// Shared by FIFO(coflow mode)/SEBF/SCF/NCF/LCF-style orderings.
+std::vector<const fabric::Flow*> order_flows_by_coflow(
+    const SchedContext& ctx, const std::vector<fabric::CoflowId>& coflow_order);
+
+}  // namespace swallow::sched

@@ -1,0 +1,56 @@
+#include "sched/sebf.hpp"
+
+#include <algorithm>
+
+namespace swallow::sched {
+
+fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
+  struct Entry {
+    fabric::Coflow* coflow;
+    std::vector<const fabric::Flow*> flows;
+    common::Seconds gamma;
+  };
+
+  std::vector<Entry> entries;
+  entries.reserve(ctx.coflows.size());
+  for (fabric::Coflow* c : ctx.coflows) {
+    Entry e;
+    e.coflow = c;
+    for (const fabric::Flow* f : ctx.flows)
+      if (f->coflow == c->id && !f->done()) e.flows.push_back(f);
+    if (e.flows.empty()) continue;
+
+    // Effective bottleneck over remaining volumes.
+    std::vector<common::Bytes> in_load(ctx.fabric->num_ports(), 0.0);
+    std::vector<common::Bytes> out_load(ctx.fabric->num_ports(), 0.0);
+    for (const fabric::Flow* f : e.flows) {
+      in_load[f->src] += f->volume();
+      out_load[f->dst] += f->volume();
+    }
+    e.gamma = 0;
+    for (fabric::PortId p = 0; p < ctx.fabric->num_ports(); ++p) {
+      e.gamma = std::max(e.gamma, in_load[p] / ctx.fabric->ingress_capacity(p));
+      e.gamma = std::max(e.gamma, out_load[p] / ctx.fabric->egress_capacity(p));
+    }
+    entries.push_back(std::move(e));
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.gamma != b.gamma) return a.gamma < b.gamma;
+                     if (a.coflow->arrival != b.coflow->arrival)
+                       return a.coflow->arrival < b.coflow->arrival;
+                     return a.coflow->id < b.coflow->id;
+                   });
+
+  fabric::Allocation alloc;
+  fabric::PortHeadroom headroom(*ctx.fabric);
+  for (const Entry& e : entries)
+    if (e.gamma > 0) fabric::madd_into(alloc, e.flows, e.gamma, headroom);
+  if (backfill_)
+    for (const Entry& e : entries)
+      fabric::backfill_into(alloc, e.flows, headroom);
+  return alloc;
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,24 @@
+// Smallest-Effective-Bottleneck-First (Varys): coflows admitted in order of
+// their effective bottleneck Gamma = max_port(load/capacity); the admitted
+// coflow's flows get MADD rates (all finish together at Gamma), residual
+// capacity backfills the remaining coflows in the same order.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class SebfScheduler final : public Scheduler {
+ public:
+  /// `backfill` off is the ablation knob (bench_ablation_backfill).
+  explicit SebfScheduler(bool backfill = true) : backfill_(backfill) {}
+  std::string name() const override {
+    return backfill_ ? "SEBF" : "SEBF-NOBACKFILL";
+  }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+ private:
+  bool backfill_;
+};
+
+}  // namespace swallow::sched

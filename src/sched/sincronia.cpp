@@ -1,0 +1,93 @@
+#include "sched/sincronia.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace swallow::sched {
+
+std::vector<fabric::CoflowId> SincroniaScheduler::bssi_order(
+    const SchedContext& ctx) {
+  // Per-coflow load on each of the 2N one-directional ports
+  // (0..N-1 ingress, N..2N-1 egress).
+  const std::size_t num_ports = ctx.fabric->num_ports();
+  struct Job {
+    fabric::CoflowId id;
+    std::vector<common::Bytes> load;
+    double weight = 1.0;  // the dual-discounted residual weight
+    bool placed = false;
+  };
+  std::unordered_map<fabric::CoflowId, std::size_t> index;
+  std::vector<Job> jobs;
+  for (const fabric::Flow* f : ctx.flows) {
+    if (f->done()) continue;
+    auto [it, inserted] = index.try_emplace(f->coflow, jobs.size());
+    if (inserted) jobs.push_back({f->coflow,
+                                  std::vector<common::Bytes>(2 * num_ports, 0),
+                                  1.0, false});
+    Job& job = jobs[it->second];
+    job.load[f->src] += f->volume();
+    job.load[num_ports + f->dst] += f->volume();
+  }
+
+  const std::size_t n = jobs.size();
+  std::vector<fabric::CoflowId> order(n);
+  std::size_t remaining = n;
+
+  // Place positions n-1 .. 0, last first.
+  while (remaining > 0) {
+    // Most-bottlenecked port over unplaced jobs.
+    std::size_t bottleneck = 0;
+    common::Bytes worst = -1;
+    for (std::size_t p = 0; p < 2 * num_ports; ++p) {
+      common::Bytes load = 0;
+      for (const Job& job : jobs)
+        if (!job.placed) load += job.load[p];
+      if (load > worst) {
+        worst = load;
+        bottleneck = p;
+      }
+    }
+
+    // Job with the smallest residual weight per unit of bottleneck load
+    // goes last (it hurts the least when everything queues behind it).
+    std::size_t last = n;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      const Job& job = jobs[j];
+      if (job.placed || job.load[bottleneck] <= 0) continue;
+      const double ratio = job.weight / job.load[bottleneck];
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        last = j;
+      }
+    }
+    if (last == n) {
+      // No load anywhere (all remaining jobs are empty): place by id.
+      for (std::size_t j = 0; j < n; ++j)
+        if (!jobs[j].placed) {
+          last = j;
+          break;
+        }
+      best_ratio = 0;
+    }
+
+    // Dual discount: every unplaced job pays for its bottleneck load.
+    const double theta = best_ratio;
+    for (Job& job : jobs)
+      if (!job.placed)
+        job.weight = std::max(0.0, job.weight - theta * job.load[bottleneck]);
+
+    jobs[last].placed = true;
+    order[--remaining] = jobs[last].id;
+  }
+  return order;
+}
+
+fabric::Allocation SincroniaScheduler::schedule(const SchedContext& ctx) {
+  return fabric::strict_priority(
+      order_flows_by_coflow(ctx, bssi_order(ctx)), *ctx.fabric);
+}
+
+}  // namespace swallow::sched

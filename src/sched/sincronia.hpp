@@ -1,0 +1,28 @@
+// Bottleneck-first primal-dual coflow ordering (Sincronia's BSSI, built on
+// the Mastrolilli et al. concurrent-open-shop primal-dual the paper cites
+// as [40]).
+//
+// The paper formulates offline coflow scheduling as a concurrent open shop
+// (Section IV-A) and notes LP techniques exist; this scheduler implements
+// the combinatorial 2-approximation: repeatedly take the most-bottlenecked
+// port, place *last* the coflow with the smallest residual weight per unit
+// of load on that port, discount the weights of the rest, and recurse.
+// Flows are then served strict-priority in the resulting order (any
+// work-conserving rate allocation preserves the approximation bound).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class SincroniaScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "SINCRONIA"; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+  /// The primal-dual permutation over the context's unfinished coflows,
+  /// highest priority first. Exposed for tests.
+  static std::vector<fabric::CoflowId> bssi_order(const SchedContext& ctx);
+};
+
+}  // namespace swallow::sched

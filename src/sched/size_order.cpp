@@ -1,0 +1,41 @@
+#include "sched/size_order.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace swallow::sched {
+
+fabric::Allocation SizeOrderScheduler::schedule(const SchedContext& ctx) {
+  // Per-coflow remaining aggregates.
+  std::unordered_map<fabric::CoflowId, double> total, width, max_flow;
+  for (const fabric::Flow* f : ctx.flows) {
+    if (f->done()) continue;
+    total[f->coflow] += f->volume();
+    width[f->coflow] += 1.0;
+    max_flow[f->coflow] = std::max(max_flow[f->coflow], f->volume());
+  }
+
+  std::vector<fabric::Coflow*> order = ctx.coflows;
+  auto key_of = [&](const fabric::Coflow* c) {
+    switch (key_) {
+      case CoflowSizeKey::kTotalBytes: return total[c->id];
+      case CoflowSizeKey::kWidth: return width[c->id];
+      case CoflowSizeKey::kMaxFlow: return max_flow[c->id];
+    }
+    return 0.0;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const fabric::Coflow* a, const fabric::Coflow* b) {
+                     const double ka = key_of(a), kb = key_of(b);
+                     if (ka != kb) return ka < kb;
+                     if (a->arrival != b->arrival) return a->arrival < b->arrival;
+                     return a->id < b->id;
+                   });
+
+  std::vector<fabric::CoflowId> ids;
+  ids.reserve(order.size());
+  for (const fabric::Coflow* c : order) ids.push_back(c->id);
+  return fabric::strict_priority(order_flows_by_coflow(ctx, ids), *ctx.fabric);
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,28 @@
+// Coflow-ordering heuristics the paper groups in Table VI:
+//   SCF - Smallest-Coflow-First: least total remaining bytes first.
+//   NCF - Narrowest-Coflow-First: fewest unfinished flows first.
+//   LCF - Lightest-Coflow-First: smallest maximum remaining flow first
+//         (the paper never defines LCF; see DESIGN.md section 4.2).
+// Each orders coflows by its key and hands flows the full residual port
+// capacity in that order (strict priority, work conserving).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+enum class CoflowSizeKey { kTotalBytes, kWidth, kMaxFlow };
+
+class SizeOrderScheduler final : public Scheduler {
+ public:
+  SizeOrderScheduler(CoflowSizeKey key, std::string label)
+      : key_(key), label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+ private:
+  CoflowSizeKey key_;
+  std::string label_;
+};
+
+}  // namespace swallow::sched

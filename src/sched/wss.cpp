@@ -1,0 +1,12 @@
+#include "sched/wss.hpp"
+
+namespace swallow::sched {
+
+fabric::Allocation WssScheduler::schedule(const SchedContext& ctx) {
+  std::vector<double> weights;
+  weights.reserve(ctx.flows.size());
+  for (const fabric::Flow* f : ctx.flows) weights.push_back(f->volume());
+  return fabric::weighted_max_min(ctx.flows, weights, *ctx.fabric);
+}
+
+}  // namespace swallow::sched

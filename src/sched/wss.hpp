@@ -1,0 +1,16 @@
+// Weighted Shuffle Scheduling (Orchestra): every flow weighted by its
+// remaining volume, shares allocated proportionally per port. Reproduces
+// Fig. 4(b) of the paper exactly on the motivation example.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+class WssScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "WSS"; }
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+};
+
+}  // namespace swallow::sched

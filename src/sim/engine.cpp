@@ -1,0 +1,298 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swallow::sim {
+
+namespace {
+
+constexpr double kTiny = 1e-12;
+/// Consecutive zero-progress slices tolerated before declaring deadlock.
+constexpr int kMaxStalledSlices = 100000;
+
+struct SimCoflow {
+  fabric::Coflow state;
+  fabric::CoflowId trace_id = 0;
+  fabric::JobId job = 0;
+  std::size_t unfinished = 0;
+  common::Seconds isolation_bound = 0;  ///< CCT with the fabric to itself
+};
+
+}  // namespace
+
+Metrics run_simulation(const workload::Trace& trace,
+                       const fabric::Fabric& fabric,
+                       const cpu::CpuProvider& cpu, sched::Scheduler& sched,
+                       const SimConfig& config) {
+  if (config.slice <= 0) throw std::invalid_argument("sim: non-positive slice");
+  if (fabric.num_ports() < trace.num_ports)
+    throw std::invalid_argument("sim: fabric smaller than trace needs");
+
+  // ---- Build flow/coflow state (ids are dense indices). ----
+  std::vector<fabric::Flow> flows;
+  std::vector<SimCoflow> coflows;
+  flows.reserve(trace.total_flows());
+  coflows.reserve(trace.coflows.size());
+  for (const auto& spec : trace.coflows) {
+    SimCoflow sc;
+    sc.trace_id = spec.id;
+    sc.job = spec.job;
+    sc.state.id = coflows.size();
+    sc.state.arrival = spec.arrival;
+    sc.state.priority = 1.0;
+    sc.unfinished = spec.flows.size();
+    for (const auto& fs : spec.flows) {
+      fabric::Flow f;
+      f.id = flows.size();
+      f.coflow = sc.state.id;
+      f.src = fs.src;
+      f.dst = fs.dst;
+      f.original_bytes = fs.bytes;
+      f.raw_remaining = fs.bytes;
+      f.arrival = spec.arrival + fs.arrival_offset;
+      f.compressible = fs.compressible;
+      f.compress_ratio = fs.compress_ratio;
+      sc.state.flows.push_back(f.id);
+      flows.push_back(f);
+    }
+    sc.isolation_bound = coflow_bottleneck(sc.state, flows, fabric);
+    coflows.push_back(std::move(sc));
+  }
+
+  // Arrival order (trace is sorted, but be safe).
+  std::vector<std::size_t> arrival_order(coflows.size());
+  for (std::size_t i = 0; i < arrival_order.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return coflows[a].state.arrival < coflows[b].state.arrival;
+                   });
+
+  std::size_t next_arrival = 0;
+  std::vector<std::size_t> active;  // indices of arrived, uncompleted coflows
+  std::size_t completed = 0;
+
+  // Dense per-flow decision tables refreshed after every schedule() call.
+  std::vector<double> rate(flows.size(), 0.0);
+  std::vector<char> compress(flows.size(), 0);
+
+  common::Seconds t =
+      coflows.empty() ? 0.0 : coflows[arrival_order[0]].state.arrival;
+  // Utilization sampling: wire bytes moved in the current window over the
+  // fabric's total egress capacity.
+  double window_wire = 0;
+  common::Seconds window_start = t;
+  double egress_capacity_total = 0;
+  for (fabric::PortId p = 0; p < fabric.num_ports(); ++p)
+    egress_capacity_total += fabric.egress_capacity(p);
+  std::vector<UtilizationSample> samples;
+  auto maybe_sample = [&](common::Seconds now) {
+    if (config.utilization_sample_period <= 0) return;
+    while (now - window_start >= config.utilization_sample_period) {
+      samples.push_back(
+          {window_start + config.utilization_sample_period,
+           window_wire / (egress_capacity_total *
+                          config.utilization_sample_period)});
+      window_wire = 0;
+      window_start += config.utilization_sample_period;
+    }
+  };
+  bool need_schedule = true;
+  bool coflow_event = true;  // arrival/coflow-completion since last schedule
+  int stalled = 0;
+
+  // Marks a flow finished at `when`, updating its coflow when it was the
+  // last one out.
+  auto finalize_flow = [&](fabric::Flow& f, SimCoflow& sc,
+                           common::Seconds when) {
+    if (config.model_decompression && config.codec != nullptr &&
+        f.sent_compressed > 0 && config.codec->decompress_speed > 0) {
+      // Receiver-side decoding, serialized after the last byte arrives.
+      when += f.sent_compressed / config.codec->decompress_speed;
+    }
+    if (config.quantize_completions) {
+      // Slotted accounting: the flow occupies its slice to the boundary
+      // (the paper's "waste of time slices", Section VI-A1).
+      const double slots = std::ceil((when - 1e-12) / config.slice);
+      when = std::max(when, slots * config.slice);
+    }
+    f.raw_remaining = 0;
+    f.compressed_pending = 0;
+    f.completion = when;
+    need_schedule = true;
+    if (--sc.unfinished == 0) {
+      sc.state.completion = when;
+      for (const fabric::FlowId other : sc.state.flows)
+        sc.state.completion =
+            std::max(sc.state.completion, flows[other].completion);
+      ++completed;
+      coflow_event = true;
+    }
+  };
+
+  auto build_context = [&]() {
+    sched::SchedContext ctx;
+    ctx.fabric = &fabric;
+    ctx.cpu = &cpu;
+    ctx.now = t;
+    ctx.slice = config.slice;
+    ctx.codec = config.codec;
+    for (const std::size_t ci : active) {
+      ctx.coflows.push_back(&coflows[ci].state);
+      for (const fabric::FlowId fid : coflows[ci].state.flows)
+        if (!flows[fid].done()) ctx.flows.push_back(&flows[fid]);
+    }
+    return ctx;
+  };
+
+  while (completed < coflows.size()) {
+    if (t > config.max_time) throw SimError("sim: exceeded max_time");
+
+    // Activate arrivals due by now.
+    while (next_arrival < arrival_order.size() &&
+           coflows[arrival_order[next_arrival]].state.arrival <= t + kTiny) {
+      active.push_back(arrival_order[next_arrival]);
+      ++next_arrival;
+      need_schedule = true;
+      coflow_event = true;
+    }
+
+    if (active.empty()) {
+      if (next_arrival >= arrival_order.size()) break;  // nothing left
+      t = coflows[arrival_order[next_arrival]].state.arrival;
+      continue;
+    }
+
+    if (need_schedule) {
+      sched::SchedContext ctx = build_context();
+      ctx.coflow_event = coflow_event;
+      const fabric::Allocation alloc = sched.schedule(ctx);
+      if (config.validate_allocations && !feasible(alloc, ctx.flows, fabric))
+        throw SimError("sim: scheduler " + sched.name() +
+                       " violated port capacities");
+      for (const fabric::Flow* f : ctx.flows) {
+        rate[f->id] = alloc.rate(f->id);
+        compress[f->id] = alloc.compress(f->id) ? 1 : 0;
+      }
+      need_schedule = false;
+      coflow_event = false;
+    }
+
+    // ---- Advance one slice. ----
+    double progress = 0.0;
+    for (const std::size_t ci : active) {
+      SimCoflow& sc = coflows[ci];
+      for (const fabric::FlowId fid : sc.state.flows) {
+        fabric::Flow& f = flows[fid];
+        if (f.done() || f.completed()) continue;
+
+        if (compress[fid] && config.codec != nullptr &&
+            f.raw_remaining > fabric::kVolumeEpsilon) {
+          const double r_eff =
+              config.codec->compress_speed * cpu.headroom(f.src, t);
+          if (r_eff > kTiny) {
+            const common::Bytes consumed =
+                std::min(f.raw_remaining, r_eff * config.slice);
+            f.raw_remaining -= consumed;
+            f.compressed_pending +=
+                consumed * f.effective_ratio(config.codec->ratio);
+            progress += consumed;
+            if (f.raw_remaining <= fabric::kVolumeEpsilon) {
+              f.raw_remaining = 0;
+              need_schedule = true;  // compression finished: hand out a rate
+              // Degenerate codec (ratio ~ 0) may remove the whole volume.
+              if (f.done()) finalize_flow(f, sc, t + consumed / r_eff);
+            }
+          } else {
+            // CPU went busy under us: reschedule so beta can be dropped.
+            need_schedule = true;
+          }
+          continue;
+        }
+
+        const double r = rate[fid];
+        if (r <= kTiny) continue;
+        const common::Bytes budget = r * config.slice;
+        const common::Bytes volume = f.volume();
+        if (volume <= budget + kTiny) {
+          // Completes inside this slice; timestamp is exact.
+          f.sent += volume;
+          f.sent_compressed += f.compressed_pending;
+          progress += volume;
+          window_wire += volume;
+          finalize_flow(f, sc, t + volume / r);
+        } else {
+          const common::Bytes from_compressed =
+              std::min(f.compressed_pending, budget);
+          f.compressed_pending -= from_compressed;
+          const common::Bytes from_raw =
+              std::min(f.raw_remaining, budget - from_compressed);
+          f.raw_remaining -= from_raw;
+          f.sent += from_compressed + from_raw;
+          f.sent_compressed += from_compressed;
+          progress += from_compressed + from_raw;
+          window_wire += from_compressed + from_raw;
+          if (f.done()) {
+            // Float dust left the residue below epsilon: finalize here so
+            // the flow cannot linger done-but-uncompleted.
+            f.sent += f.volume();
+            finalize_flow(f, sc, t + volume / r);
+          }
+        }
+      }
+    }
+
+    // Drop completed coflows from the active set.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](std::size_t ci) {
+                                  return coflows[ci].state.completed();
+                                }),
+                 active.end());
+
+    if (progress <= kTiny && !active.empty()) {
+      if (++stalled > kMaxStalledSlices)
+        throw SimError("sim: no progress for too long (scheduler " +
+                       sched.name() + " deadlocked?)");
+    } else {
+      stalled = 0;
+    }
+
+    t += config.slice;
+    maybe_sample(t);
+  }
+
+  // ---- Emit records. ----
+  Metrics metrics;
+  metrics.utilization = std::move(samples);
+  metrics.flows.reserve(flows.size());
+  for (const auto& f : flows) {
+    FlowRecord rec;
+    rec.id = f.id;
+    rec.coflow = coflows[f.coflow].trace_id;
+    rec.job = coflows[f.coflow].job;
+    rec.original_bytes = f.original_bytes;
+    rec.wire_bytes = f.sent;
+    rec.arrival = f.arrival;
+    rec.completion = f.completion;
+    metrics.flows.push_back(rec);
+  }
+  metrics.coflows.reserve(coflows.size());
+  for (const auto& sc : coflows) {
+    CoflowRecord rec;
+    rec.id = sc.trace_id;
+    rec.job = sc.job;
+    rec.width = sc.state.flows.size();
+    rec.arrival = sc.state.arrival;
+    rec.completion = sc.state.completion;
+    rec.isolation_bound = sc.isolation_bound;
+    for (const fabric::FlowId fid : sc.state.flows) {
+      rec.original_bytes += flows[fid].original_bytes;
+      rec.wire_bytes += flows[fid].sent;
+    }
+    metrics.coflows.push_back(rec);
+  }
+  return metrics;
+}
+
+}  // namespace swallow::sim

@@ -1,0 +1,61 @@
+// The slotted fluid simulator.
+//
+// Time advances in slices of length `slice`. At each slice boundary the
+// engine activates newly arrived coflows and, if any event happened since
+// the last decision (arrival, flow completion, compression finished), asks
+// the scheduler for a fresh Allocation. Within a slice each flow disposes
+// volume per the paper's model: a flow with beta = 1 spends the slice
+// compressing (raw -> compressed at R_eff = R * cpu_headroom, volume shrinks
+// by the (1 - xi) factor); otherwise it transmits at its allocated rate,
+// draining compressed bytes before raw bytes. Completion timestamps are
+// computed exactly inside the slice; rescheduling still waits for the next
+// boundary, which is precisely the staleness the paper's Fig. 7(c) studies.
+#pragma once
+
+#include <limits>
+
+#include "codec/codec_model.hpp"
+#include "cpu/cpu_model.hpp"
+#include "fabric/fabric.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace swallow::sim {
+
+struct SimConfig {
+  common::Seconds slice = common::kDefaultSlice;
+  /// Codec model handed to the scheduler; nullptr disables compression.
+  const codec::CodecModel* codec = nullptr;
+  /// Abort the run if simulated time passes this point (safety net).
+  common::Seconds max_time = 1e7;
+  /// Validate every allocation against port capacities (throws on breach).
+  bool validate_allocations = true;
+  /// Sample fabric-wide egress utilization every this many seconds into
+  /// Metrics::utilization (0 disables sampling).
+  common::Seconds utilization_sample_period = 0;
+  /// Charge the receiver for decompressing the compressed wire bytes (at
+  /// the codec model's decompression speed, serialized after the last
+  /// byte lands — a conservative, non-pipelined model). The paper omits
+  /// this cost arguing decompression is much faster than compression;
+  /// bench_ext_decompression quantifies how much that omission matters.
+  bool model_decompression = false;
+  /// Round completion timestamps up to the next slice boundary — the
+  /// paper's slotted accounting, where a flow's bandwidth is held for the
+  /// whole slice it finishes in ("waste of time slices", Section VI-A1).
+  /// Fig. 7(c) is reproduced with this on; default off for exact metrics.
+  bool quantize_completions = false;
+};
+
+/// Thrown when a scheduler makes no progress or violates capacities.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+Metrics run_simulation(const workload::Trace& trace,
+                       const fabric::Fabric& fabric,
+                       const cpu::CpuProvider& cpu, sched::Scheduler& sched,
+                       const SimConfig& config = {});
+
+}  // namespace swallow::sim

@@ -1,0 +1,93 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/online.hpp"
+
+namespace swallow::sim {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const std::string& name) {
+  try {
+    return core::make_fvdf(name);
+  } catch (const std::out_of_range&) {
+    return sched::make_baseline(name);
+  }
+}
+
+std::vector<ComparisonRow> compare_schedulers(
+    const workload::Trace& trace, const fabric::Fabric& fabric,
+    const cpu::CpuProvider& cpu, const std::vector<std::string>& names,
+    const SimConfig& config) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(names.size());
+  for (const auto& name : names) {
+    const auto scheduler = make_scheduler(name);
+    rows.push_back(
+        {scheduler->name(),
+         run_simulation(trace, fabric, cpu, *scheduler, config)});
+  }
+  return rows;
+}
+
+Metrics MotivationSetup::run(const std::string& scheduler_name) const {
+  const auto scheduler = make_scheduler(scheduler_name);
+  return run_simulation(trace, fabric, *cpu, *scheduler, config);
+}
+
+std::unique_ptr<MotivationSetup> motivation_setup() {
+  auto setup = std::make_unique<MotivationSetup>(MotivationSetup{
+      /*trace=*/{},
+      // Three "channels": the egress ports are the unit-capacity resources
+      // of the example; ingress links are made non-binding.
+      fabric::Fabric(std::vector<common::Bps>(3, 100.0),
+                     std::vector<common::Bps>(3, 1.0)),
+      std::make_shared<cpu::WindowedCpu>(
+          std::vector<cpu::WindowedCpu::Window>{{0.0, 1.0}, {3.0, 3.5}}),
+      // "Suppose the compression ratio of 47.59%": the example's codec
+      // halves the data and compresses 4 units per time unit.
+      codec::CodecModel{"example", 4.0, 16.0, 0.5},
+      /*config=*/{}});
+
+  setup->config.slice = 0.01;
+  setup->config.codec = &setup->codec;
+
+  workload::Trace& trace = setup->trace;
+  trace.num_ports = 3;
+
+  // Port map reverse-engineered from the published averages (DESIGN.md 4.4):
+  //   channel A (egress 0): f1 (C1, 4)
+  //   channel B (egress 1): f2 (C1, 4), f4 (C2, 2)
+  //   channel C (egress 2): f3 (C1, 2), f5 (C2, 3)
+  // FIFO registration order: f1, f2, f5, f3, f4 (offsets below).
+  auto flow = [](fabric::PortId src, fabric::PortId dst, double bytes,
+                 common::Seconds offset) {
+    workload::FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.bytes = bytes;
+    spec.compressible = true;
+    spec.arrival_offset = offset;
+    return spec;
+  };
+  workload::CoflowSpec c1;
+  c1.id = 1;
+  c1.job = 1;
+  c1.arrival = 0;
+  c1.flows = {
+      flow(0, 0, 4.0, 0e-9),  // f1
+      flow(1, 1, 4.0, 1e-9),  // f2
+      flow(0, 2, 2.0, 3e-9),  // f3
+  };
+  workload::CoflowSpec c2;
+  c2.id = 2;
+  c2.job = 2;
+  c2.arrival = 0;
+  c2.flows = {
+      flow(2, 1, 2.0, 4e-9),  // f4
+      flow(1, 2, 3.0, 2e-9),  // f5
+  };
+  trace.coflows = {c1, c2};
+  return setup;
+}
+
+}  // namespace swallow::sim

@@ -1,0 +1,50 @@
+// Experiment helpers shared by the benches, examples and integration tests:
+// a combined scheduler factory (baselines + FVDF variants), a side-by-side
+// comparison runner, and the paper's Fig. 3 motivation example.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu_model.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace swallow::sim {
+
+/// Baselines (sched::make_baseline names) plus FVDF variants
+/// (core::make_fvdf names). Throws std::out_of_range on unknown names.
+std::unique_ptr<sched::Scheduler> make_scheduler(const std::string& name);
+
+struct ComparisonRow {
+  std::string scheduler;
+  Metrics metrics;
+};
+
+/// Runs the same trace under each named scheduler on the same environment.
+std::vector<ComparisonRow> compare_schedulers(
+    const workload::Trace& trace, const fabric::Fabric& fabric,
+    const cpu::CpuProvider& cpu, const std::vector<std::string>& names,
+    const SimConfig& config);
+
+/// The paper's Fig. 3 motivation example: a 3x3 fabric carrying coflow C1
+/// (flows of 4, 4 and 2 data units) and C2 (2 and 3 units) over three
+/// contended egress channels, CPU idle during [0,1) and [3,3.5), and a
+/// codec with R = 4 units/time and xi = 0.5. run() on this setup with
+/// each scheduler reproduces the averages of Fig. 4 (see DESIGN.md 4.4).
+struct MotivationSetup {
+  workload::Trace trace;
+  fabric::Fabric fabric;
+  std::shared_ptr<cpu::CpuProvider> cpu;
+  codec::CodecModel codec;
+  SimConfig config;  ///< codec pointer already wired to `codec`
+
+  Metrics run(const std::string& scheduler_name) const;
+};
+
+/// Builds the setup. The returned object owns everything; copy it per test.
+std::unique_ptr<MotivationSetup> motivation_setup();
+
+}  // namespace swallow::sim

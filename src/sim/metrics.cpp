@@ -1,0 +1,130 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace swallow::sim {
+
+double Metrics::avg_fct() const {
+  if (flows.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& f : flows) sum += f.fct();
+  return sum / static_cast<double>(flows.size());
+}
+
+double Metrics::avg_cct() const {
+  if (coflows.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& c : coflows) sum += c.cct();
+  return sum / static_cast<double>(coflows.size());
+}
+
+double Metrics::avg_normalized_cct() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& c : coflows) {
+    if (c.isolation_bound <= 0) continue;
+    sum += c.normalized_cct();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::vector<JobRecord> Metrics::jobs() const {
+  std::map<fabric::JobId, JobRecord> by_job;
+  for (const auto& c : coflows) {
+    auto [it, inserted] = by_job.try_emplace(c.job);
+    JobRecord& job = it->second;
+    if (inserted) {
+      job.id = c.job;
+      job.arrival = c.arrival;
+      job.completion = c.completion;
+    } else {
+      job.arrival = std::min(job.arrival, c.arrival);
+      job.completion = std::max(job.completion, c.completion);
+    }
+  }
+  std::vector<JobRecord> out;
+  out.reserve(by_job.size());
+  for (const auto& [id, job] : by_job) out.push_back(job);
+  return out;
+}
+
+double Metrics::avg_jct() const {
+  const auto all = jobs();
+  if (all.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& j : all) sum += j.jct();
+  return sum / static_cast<double>(all.size());
+}
+
+common::Cdf Metrics::fct_cdf() const {
+  common::Cdf cdf;
+  for (const auto& f : flows) cdf.add(f.fct());
+  cdf.finalize();
+  return cdf;
+}
+
+common::Cdf Metrics::cct_cdf() const {
+  common::Cdf cdf;
+  for (const auto& c : coflows) cdf.add(c.cct());
+  cdf.finalize();
+  return cdf;
+}
+
+common::Bytes Metrics::total_original_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& f : flows) total += f.original_bytes;
+  return total;
+}
+
+common::Bytes Metrics::total_wire_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& f : flows) total += f.wire_bytes;
+  return total;
+}
+
+double Metrics::traffic_reduction() const {
+  const common::Bytes original = total_original_bytes();
+  if (original <= 0) return 0.0;
+  return 1.0 - total_wire_bytes() / original;
+}
+
+std::vector<std::size_t> Metrics::cumulative_jobs_per_unit(
+    common::Seconds unit, std::size_t units) const {
+  std::vector<std::size_t> out(units, 0);
+  for (const auto& j : jobs()) {
+    for (std::size_t u = 0; u < units; ++u) {
+      if (j.completion <= unit * static_cast<double>(u + 1)) ++out[u];
+    }
+  }
+  return out;
+}
+
+common::Seconds Metrics::makespan() const {
+  common::Seconds last = 0;
+  for (const auto& f : flows) last = std::max(last, f.completion);
+  return last;
+}
+
+double Metrics::mean_utilization() const {
+  if (utilization.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& u : utilization) sum += u.egress_utilization;
+  return sum / static_cast<double>(utilization.size());
+}
+
+double Metrics::avg_fct_in_size_band(common::Bytes lo,
+                                     common::Bytes hi) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (f.original_bytes >= lo && f.original_bytes < hi) {
+      sum += f.fct();
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace swallow::sim

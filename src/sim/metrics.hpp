@@ -1,0 +1,98 @@
+// Metrics captured by a simulation run: per-flow, per-coflow and per-job
+// completion records plus traffic accounting, with the derived statistics
+// the paper reports (average FCT/CCT/JCT, CDFs, per-time-unit job
+// throughput, traffic reduction).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/units.hpp"
+#include "fabric/coflow.hpp"
+
+namespace swallow::sim {
+
+struct FlowRecord {
+  fabric::FlowId id = 0;
+  fabric::CoflowId coflow = 0;
+  fabric::JobId job = 0;
+  common::Bytes original_bytes = 0;  ///< uncompressed size
+  common::Bytes wire_bytes = 0;      ///< bytes actually transmitted
+  common::Seconds arrival = 0;
+  common::Seconds completion = 0;
+  common::Seconds fct() const { return completion - arrival; }
+};
+
+struct CoflowRecord {
+  fabric::CoflowId id = 0;
+  fabric::JobId job = 0;
+  std::size_t width = 0;
+  common::Bytes original_bytes = 0;
+  common::Bytes wire_bytes = 0;
+  common::Seconds arrival = 0;
+  common::Seconds completion = 0;
+  /// CCT lower bound: the coflow's effective bottleneck with the whole
+  /// fabric to itself at arrival (Varys' normalization baseline).
+  common::Seconds isolation_bound = 0;
+  common::Seconds cct() const { return completion - arrival; }
+  /// CCT / isolation bound; >= 1 up to slice granularity.
+  double normalized_cct() const {
+    return isolation_bound > 0 ? cct() / isolation_bound : 0.0;
+  }
+};
+
+struct JobRecord {
+  fabric::JobId id = 0;
+  common::Seconds arrival = 0;
+  common::Seconds completion = 0;
+  common::Seconds jct() const { return completion - arrival; }
+};
+
+/// One sample of fabric-wide utilization (enabled via
+/// SimConfig::utilization_sample_period).
+struct UtilizationSample {
+  common::Seconds t = 0;
+  double egress_utilization = 0;  ///< wire bytes moved / fabric capacity
+};
+
+class Metrics {
+ public:
+  std::vector<FlowRecord> flows;
+  std::vector<CoflowRecord> coflows;
+  std::vector<UtilizationSample> utilization;
+
+  double avg_fct() const;
+  double avg_cct() const;
+  double avg_jct() const;
+  /// Mean CCT / isolation-bound over coflows with a positive bound.
+  double avg_normalized_cct() const;
+
+  common::Cdf fct_cdf() const;
+  common::Cdf cct_cdf() const;
+
+  /// Jobs aggregated from coflow records (job arrival = earliest coflow
+  /// arrival, completion = latest coflow completion).
+  std::vector<JobRecord> jobs() const;
+
+  common::Bytes total_original_bytes() const;
+  common::Bytes total_wire_bytes() const;
+  /// 1 - wire/original: the paper's "traffic reduction".
+  double traffic_reduction() const;
+
+  /// Table V: cumulative jobs completed by the end of each of `units` time
+  /// units of length `unit` seconds (measured from t = 0).
+  std::vector<std::size_t> cumulative_jobs_per_unit(common::Seconds unit,
+                                                    std::size_t units) const;
+
+  /// Completion time of the last flow.
+  common::Seconds makespan() const;
+
+  /// Average FCT restricted to flows with original size in [lo, hi).
+  double avg_fct_in_size_band(common::Bytes lo, common::Bytes hi) const;
+
+  /// Mean egress utilization over the sampled horizon (0 if not sampled).
+  double mean_utilization() const;
+};
+
+}  // namespace swallow::sim

@@ -1,0 +1,34 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+
+namespace swallow::sim {
+
+void write_flows_csv(std::ostream& out, const Metrics& metrics) {
+  out << "flow_id,coflow_id,job_id,original_bytes,wire_bytes,arrival,"
+         "completion,fct\n";
+  for (const auto& f : metrics.flows) {
+    out << f.id << ',' << f.coflow << ',' << f.job << ','
+        << f.original_bytes << ',' << f.wire_bytes << ',' << f.arrival << ','
+        << f.completion << ',' << f.fct() << '\n';
+  }
+}
+
+void write_coflows_csv(std::ostream& out, const Metrics& metrics) {
+  out << "coflow_id,job_id,width,original_bytes,wire_bytes,arrival,"
+         "completion,cct,isolation_bound,normalized_cct\n";
+  for (const auto& c : metrics.coflows) {
+    out << c.id << ',' << c.job << ',' << c.width << ',' << c.original_bytes
+        << ',' << c.wire_bytes << ',' << c.arrival << ',' << c.completion
+        << ',' << c.cct() << ',' << c.isolation_bound << ','
+        << c.normalized_cct() << '\n';
+  }
+}
+
+void write_utilization_csv(std::ostream& out, const Metrics& metrics) {
+  out << "t,egress_utilization\n";
+  for (const auto& u : metrics.utilization)
+    out << u.t << ',' << u.egress_utilization << '\n';
+}
+
+}  // namespace swallow::sim

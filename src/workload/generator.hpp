@@ -1,0 +1,49 @@
+// Synthetic coflow trace generation.
+//
+// Two generators:
+//  - generate_trace: Poisson coflow arrivals, heavy-tailed widths and flow
+//    sizes. The default size distribution is a bounded Pareto calibrated to
+//    the paper's Fig. 1 (about 89% of flows below 10 GB while flows above
+//    10 GB carry over 90% of the bytes).
+//  - generate_fig1_trace: a convenience preset for the Fig. 1 reproduction.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+
+namespace swallow::workload {
+
+struct GeneratorConfig {
+  std::size_t num_ports = 50;
+  std::size_t num_coflows = 100;
+  /// Mean coflow inter-arrival time (Poisson process).
+  common::Seconds mean_interarrival = 1.0;
+
+  /// Flow sizes: bounded Pareto [size_lo, size_hi] with shape alpha.
+  /// alpha = 0.08 over [100 KB, 100 GB] matches the Fig. 1 CDFs.
+  common::Bytes size_lo = 100 * common::kKB;
+  common::Bytes size_hi = 100 * common::kGB;
+  double size_alpha = 0.08;
+
+  /// Coflow width (number of flows): uniform in [width_lo, width_hi].
+  std::size_t width_lo = 1;
+  std::size_t width_hi = 10;
+
+  /// Fraction of flows whose payload benefits from compression.
+  double compressible_fraction = 0.95;
+
+  /// Flows per coflow get distinct sender ports when possible (shuffle
+  /// semantics: mappers on distinct machines feed one reducer wave).
+  bool distinct_senders = true;
+
+  std::uint64_t seed = 42;
+};
+
+Trace generate_trace(const GeneratorConfig& config);
+
+/// Large-sample preset used by the Fig. 1 bench (many flows, wide range).
+Trace generate_fig1_trace(std::size_t num_flows = 20000,
+                          std::uint64_t seed = 42);
+
+}  // namespace swallow::workload

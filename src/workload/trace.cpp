@@ -1,0 +1,185 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swallow::workload {
+
+common::Bytes CoflowSpec::total_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& f : flows) total += f.bytes;
+  return total;
+}
+
+common::Bytes CoflowSpec::max_flow_bytes() const {
+  common::Bytes largest = 0;
+  for (const auto& f : flows) largest = std::max(largest, f.bytes);
+  return largest;
+}
+
+std::size_t Trace::total_flows() const {
+  std::size_t n = 0;
+  for (const auto& c : coflows) n += c.flows.size();
+  return n;
+}
+
+common::Bytes Trace::total_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& c : coflows) total += c.total_bytes();
+  return total;
+}
+
+void Trace::sort_by_arrival() {
+  std::stable_sort(coflows.begin(), coflows.end(),
+                   [](const CoflowSpec& a, const CoflowSpec& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+Trace parse_trace(std::istream& in) {
+  Trace trace;
+  std::size_t num_coflows = 0;
+  if (!(in >> trace.num_ports >> num_coflows))
+    throw std::runtime_error("trace: missing header");
+  if (trace.num_ports == 0) throw std::runtime_error("trace: zero ports");
+
+  trace.coflows.reserve(num_coflows);
+  for (std::size_t i = 0; i < num_coflows; ++i) {
+    CoflowSpec coflow;
+    double arrival_ms = 0;
+    std::size_t num_flows = 0;
+    if (!(in >> coflow.id >> arrival_ms >> coflow.job >> num_flows))
+      throw std::runtime_error("trace: truncated coflow header");
+    if (arrival_ms < 0) throw std::runtime_error("trace: negative arrival");
+    if (num_flows == 0) throw std::runtime_error("trace: coflow with no flows");
+    coflow.arrival = arrival_ms / 1000.0;
+    coflow.flows.reserve(num_flows);
+    for (std::size_t j = 0; j < num_flows; ++j) {
+      FlowSpec flow;
+      int compressible = 1;
+      if (!(in >> flow.src >> flow.dst >> flow.bytes >> compressible))
+        throw std::runtime_error("trace: truncated flow record");
+      if (flow.src >= trace.num_ports || flow.dst >= trace.num_ports)
+        throw std::runtime_error("trace: port out of range");
+      if (flow.bytes <= 0) throw std::runtime_error("trace: non-positive flow size");
+      flow.compressible = compressible != 0;
+      coflow.flows.push_back(flow);
+    }
+    trace.coflows.push_back(std::move(coflow));
+  }
+  trace.sort_by_arrival();
+  return trace;
+}
+
+Trace parse_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return parse_trace(in);
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << trace.num_ports << ' ' << trace.coflows.size() << '\n';
+  for (const auto& c : trace.coflows) {
+    out << c.id << ' ' << c.arrival * 1000.0 << ' ' << c.job << ' '
+        << c.flows.size() << '\n';
+    for (const auto& f : c.flows)
+      out << f.src << ' ' << f.dst << ' ' << f.bytes << ' '
+          << (f.compressible ? 1 : 0) << '\n';
+  }
+}
+
+Trace parse_facebook_trace(std::istream& in) {
+  Trace trace;
+  std::size_t num_jobs = 0;
+  if (!(in >> trace.num_ports >> num_jobs))
+    throw std::runtime_error("fb-trace: missing header");
+  if (trace.num_ports == 0) throw std::runtime_error("fb-trace: zero racks");
+
+  trace.coflows.reserve(num_jobs);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    CoflowSpec coflow;
+    double arrival_ms = 0;
+    std::size_t num_mappers = 0;
+    if (!(in >> coflow.id >> arrival_ms >> num_mappers))
+      throw std::runtime_error("fb-trace: truncated job header");
+    coflow.job = coflow.id;
+    coflow.arrival = arrival_ms / 1000.0;
+    if (num_mappers == 0) throw std::runtime_error("fb-trace: no mappers");
+
+    auto parse_rack = [&](long rack) {
+      // The published trace is 1-based; tolerate 0-based too.
+      if (rack >= 1 && static_cast<std::size_t>(rack) <= trace.num_ports)
+        return static_cast<fabric::PortId>(rack - 1);
+      if (rack >= 0 && static_cast<std::size_t>(rack) < trace.num_ports)
+        return static_cast<fabric::PortId>(rack);
+      throw std::runtime_error("fb-trace: rack out of range");
+    };
+
+    std::vector<fabric::PortId> mappers(num_mappers);
+    for (auto& m : mappers) {
+      long rack = 0;
+      if (!(in >> rack)) throw std::runtime_error("fb-trace: truncated mappers");
+      m = parse_rack(rack);
+    }
+
+    std::size_t num_reducers = 0;
+    if (!(in >> num_reducers) || num_reducers == 0)
+      throw std::runtime_error("fb-trace: bad reducer count");
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      std::string token;
+      if (!(in >> token)) throw std::runtime_error("fb-trace: truncated reducers");
+      const auto colon = token.find(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("fb-trace: reducer missing ':' in " + token);
+      const fabric::PortId dst = parse_rack(std::stol(token.substr(0, colon)));
+      const double total_mb = std::stod(token.substr(colon + 1));
+      if (total_mb <= 0)
+        throw std::runtime_error("fb-trace: non-positive shuffle size");
+      const common::Bytes per_mapper =
+          total_mb * common::kMB / static_cast<double>(num_mappers);
+      for (const fabric::PortId src : mappers)
+        coflow.flows.push_back(FlowSpec{src, dst, per_mapper, true, 0});
+    }
+    trace.coflows.push_back(std::move(coflow));
+  }
+  trace.sort_by_arrival();
+  return trace;
+}
+
+Trace parse_facebook_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fb-trace: cannot open " + path);
+  return parse_facebook_trace(in);
+}
+
+Trace filter_smallest_flows(const Trace& trace, double keep_fraction) {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0)
+    throw std::invalid_argument("filter_smallest_flows: fraction out of (0,1]");
+  std::vector<common::Bytes> sizes;
+  sizes.reserve(trace.total_flows());
+  for (const auto& c : trace.coflows)
+    for (const auto& f : c.flows) sizes.push_back(f.bytes);
+  if (sizes.empty()) return trace;
+  std::sort(sizes.begin(), sizes.end());
+  const auto cut = static_cast<std::size_t>(std::llround(
+      (1.0 - keep_fraction) * static_cast<double>(sizes.size())));
+  const common::Bytes threshold = cut == 0 ? -1.0 : sizes[cut - 1];
+
+  Trace out;
+  out.num_ports = trace.num_ports;
+  for (const auto& c : trace.coflows) {
+    CoflowSpec filtered = c;
+    filtered.flows.clear();
+    for (const auto& f : c.flows)
+      if (f.bytes > threshold) filtered.flows.push_back(f);
+    if (!filtered.flows.empty()) out.coflows.push_back(std::move(filtered));
+  }
+  return out;
+}
+
+}  // namespace swallow::workload

@@ -1,0 +1,31 @@
+#include "workload/trace_stats.hpp"
+
+namespace swallow::workload {
+
+double TraceStats::count_fraction_below(common::Bytes threshold) const {
+  return flow_sizes.at(threshold);
+}
+
+double TraceStats::byte_fraction_above(common::Bytes threshold) const {
+  return flow_sizes.mass_fraction_above(threshold);
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_coflows = trace.coflows.size();
+  for (const auto& c : trace.coflows) {
+    stats.coflow_sizes.add(c.total_bytes());
+    stats.coflow_widths.add(static_cast<double>(c.width()));
+    for (const auto& f : c.flows) {
+      stats.flow_sizes.add(f.bytes);
+      stats.total_bytes += f.bytes;
+      ++stats.num_flows;
+    }
+  }
+  stats.flow_sizes.finalize();
+  stats.coflow_sizes.finalize();
+  stats.coflow_widths.finalize();
+  return stats;
+}
+
+}  // namespace swallow::workload

@@ -1,0 +1,26 @@
+// Distributional statistics over a trace: backs the Fig. 1 reproduction and
+// the trace-shape assertions in tests.
+#pragma once
+
+#include "common/cdf.hpp"
+#include "workload/trace.hpp"
+
+namespace swallow::workload {
+
+struct TraceStats {
+  common::Cdf flow_sizes;        ///< CDF over individual flow sizes
+  common::Cdf coflow_sizes;      ///< CDF over coflow total bytes
+  common::Cdf coflow_widths;     ///< CDF over coflow widths
+  std::size_t num_flows = 0;
+  std::size_t num_coflows = 0;
+  common::Bytes total_bytes = 0;
+
+  /// Fig. 1(a): fraction of flows not larger than `threshold`.
+  double count_fraction_below(common::Bytes threshold) const;
+  /// Fig. 1(b): fraction of total bytes carried by flows above `threshold`.
+  double byte_fraction_above(common::Bytes threshold) const;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace swallow::workload

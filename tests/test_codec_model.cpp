@@ -1,0 +1,93 @@
+// Codec model tests: the Table II constants, the Eq. 1/Eq. 3 helpers the
+// scheduler relies on, and the Table III ratio-vs-size interpolation.
+#include <gtest/gtest.h>
+
+#include "codec/codec_model.hpp"
+
+namespace swallow::codec {
+namespace {
+
+using common::gbps;
+using common::kGB;
+using common::kKB;
+using common::kMB;
+using common::mbps;
+
+TEST(Table2, CarriesPaperRows) {
+  const auto& codecs = table2_codecs();
+  ASSERT_EQ(codecs.size(), 5u);
+  EXPECT_EQ(codecs[0].name, "LZ4");
+  EXPECT_DOUBLE_EQ(codecs[0].ratio, 0.6215);
+  EXPECT_DOUBLE_EQ(codecs[0].compress_speed, common::mb_per_s(785));
+  EXPECT_EQ(codecs[4].name, "Zstandard");
+  EXPECT_DOUBLE_EQ(codecs[4].ratio, 0.3477);
+}
+
+TEST(Table2, DefaultIsLz4) { EXPECT_EQ(default_codec_model().name, "LZ4"); }
+
+TEST(Table2, LookupIsCaseInsensitive) {
+  EXPECT_EQ(codec_model_by_name("snappy").name, "Snappy");
+  EXPECT_EQ(codec_model_by_name("ZSTANDARD").name, "Zstandard");
+  EXPECT_THROW(codec_model_by_name("gzip"), std::out_of_range);
+}
+
+TEST(CodecModel, DeltaCFollowsEq1) {
+  // Eq. 1: Delta_c = R * delta * (1 - xi), with R scaled by headroom.
+  const CodecModel m{"t", 100.0, 400.0, 0.25};
+  EXPECT_DOUBLE_EQ(m.delta_c(0.5, 1.0), 100.0 * 0.5 * 0.75);
+  EXPECT_DOUBLE_EQ(m.delta_c(0.5, 0.5), 50.0 * 0.5 * 0.75);
+  EXPECT_DOUBLE_EQ(m.delta_c(0.5, 0.0), 0.0);
+  // Headroom clamps into [0, 1].
+  EXPECT_DOUBLE_EQ(m.delta_c(1.0, 2.0), m.delta_c(1.0, 1.0));
+}
+
+TEST(CodecModel, Eq3GateAcrossBandwidths) {
+  // LZ4: R(1-xi) = 785 * 0.3785 MB/s ~ 297 MB/s. Compression must win at
+  // 100 Mbps and 1 Gbps but lose at 10 Gbps — the exact behaviour the
+  // paper uses to explain FVDF ~ SEBF on fast networks.
+  const CodecModel& lz4 = default_codec_model();
+  EXPECT_TRUE(lz4.beats_bandwidth(mbps(100), 1.0));
+  EXPECT_TRUE(lz4.beats_bandwidth(gbps(1), 1.0));
+  EXPECT_FALSE(lz4.beats_bandwidth(gbps(10), 1.0));
+}
+
+TEST(CodecModel, Eq3GateScalesWithHeadroom) {
+  const CodecModel& lz4 = default_codec_model();
+  // At gigabit, LZ4 wins with a free CPU but not with 10% headroom.
+  EXPECT_TRUE(lz4.beats_bandwidth(gbps(1), 1.0));
+  EXPECT_FALSE(lz4.beats_bandwidth(gbps(1), 0.1));
+}
+
+TEST(CodecModel, AllTable2CodecsWinAtMegabit) {
+  for (const auto& m : table2_codecs())
+    EXPECT_TRUE(m.beats_bandwidth(mbps(100), 1.0)) << m.name;
+}
+
+TEST(Table3, EndpointsMatchPaper) {
+  EXPECT_DOUBLE_EQ(table3_ratio(10 * kKB), 0.6646);
+  EXPECT_DOUBLE_EQ(table3_ratio(10 * kGB), 0.2507);
+  // Clamped outside the measured range.
+  EXPECT_DOUBLE_EQ(table3_ratio(1 * kKB), 0.6646);
+  EXPECT_DOUBLE_EQ(table3_ratio(100 * kGB), 0.2507);
+}
+
+TEST(Table3, InterpolationHitsMeasuredPoints) {
+  for (const auto& [size, ratio] : table3_points())
+    EXPECT_NEAR(table3_ratio(size), ratio, 1e-12) << size;
+}
+
+TEST(Table3, RatioDecreasesMonotonicallyWithSize) {
+  double prev = 1.0;
+  for (double size = 10 * kKB; size <= 10 * kGB; size *= 1.5) {
+    const double r = table3_ratio(size);
+    EXPECT_LE(r, prev + 1e-12) << size;
+    prev = r;
+  }
+}
+
+TEST(Table3, LargeFlowsApproachAsymptote) {
+  EXPECT_NEAR(table3_ratio(1 * kGB), table3_ratio(10 * kGB), 0.001);
+}
+
+}  // namespace
+}  // namespace swallow::codec

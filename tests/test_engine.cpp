@@ -1,0 +1,226 @@
+// Simulation-engine tests: byte conservation, exact completion timestamps,
+// arrival activation, determinism, slice-staleness, allocation validation
+// and deadlock detection.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+
+namespace swallow::sim {
+namespace {
+
+workload::Trace single_flow_trace(double bytes, double arrival = 0.0) {
+  workload::Trace t;
+  t.num_ports = 2;
+  workload::CoflowSpec c;
+  c.id = 1;
+  c.job = 1;
+  c.arrival = arrival;
+  c.flows = {{0, 1, bytes, true, 0}};
+  t.coflows = {c};
+  return t;
+}
+
+TEST(Engine, SingleFlowFctIsExactlyBytesOverBandwidth) {
+  const auto trace = single_flow_trace(10.0);
+  const fabric::Fabric fabric(2, 2.0);
+  const cpu::ConstantCpu cpu(0.0);
+  auto sched = make_scheduler("FIFO");
+  SimConfig config;
+  config.slice = 0.01;
+  const Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+  ASSERT_EQ(m.flows.size(), 1u);
+  EXPECT_NEAR(m.flows[0].fct(), 5.0, 1e-9);
+  EXPECT_NEAR(m.avg_cct(), 5.0, 1e-9);
+}
+
+TEST(Engine, WireBytesEqualOriginalWithoutCompression) {
+  workload::Trace t;
+  t.num_ports = 4;
+  for (int i = 0; i < 5; ++i) {
+    workload::CoflowSpec c;
+    c.id = static_cast<fabric::CoflowId>(i);
+    c.job = i;
+    c.arrival = i * 0.2;
+    c.flows = {{static_cast<fabric::PortId>(i % 4),
+                static_cast<fabric::PortId>((i + 1) % 4), 100.0 + i, true, 0}};
+    t.coflows.push_back(c);
+  }
+  const fabric::Fabric fabric(4, 50.0);
+  const cpu::ConstantCpu cpu(1.0);
+  auto sched = make_scheduler("SEBF");
+  const Metrics m = run_simulation(t, fabric, cpu, *sched, {});
+  EXPECT_NEAR(m.total_wire_bytes(), m.total_original_bytes(), 1e-6);
+  EXPECT_NEAR(m.traffic_reduction(), 0.0, 1e-9);
+}
+
+TEST(Engine, LateArrivalStartsNoEarlierThanArrival) {
+  const auto trace = single_flow_trace(10.0, 3.0);
+  const fabric::Fabric fabric(2, 2.0);
+  const cpu::ConstantCpu cpu(0.0);
+  auto sched = make_scheduler("FIFO");
+  const Metrics m = run_simulation(trace, fabric, cpu, *sched, {});
+  EXPECT_GE(m.flows[0].completion, 8.0 - 1e-9);
+  EXPECT_NEAR(m.flows[0].fct(), 5.0, 0.02);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 8;
+  gen.num_coflows = 20;
+  gen.size_lo = 1e5;
+  gen.size_hi = 1e7;
+  gen.width_hi = 4;
+  gen.seed = 5;
+  const auto trace = workload::generate_trace(gen);
+  const fabric::Fabric fabric(8, common::mbps(100));
+  const cpu::ConstantCpu cpu(0.8);
+  auto s1 = make_scheduler("FVDF");
+  auto s2 = make_scheduler("FVDF");
+  SimConfig config;
+  config.codec = &codec::default_codec_model();
+  const Metrics a = run_simulation(trace, fabric, cpu, *s1, config);
+  const Metrics b = run_simulation(trace, fabric, cpu, *s2, config);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.flows[i].completion, b.flows[i].completion);
+}
+
+TEST(Engine, LongerSlicesNeverImproveCct) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 6;
+  gen.num_coflows = 15;
+  gen.size_lo = 1e6;
+  gen.size_hi = 1e8;
+  gen.width_hi = 3;
+  gen.seed = 9;
+  const auto trace = workload::generate_trace(gen);
+  const fabric::Fabric fabric(6, common::mbps(100));
+  const cpu::ConstantCpu cpu(0.0);
+  double prev = 0;
+  for (const double slice : {0.01, 0.1, 1.0}) {
+    auto sched = make_scheduler("SEBF");
+    SimConfig config;
+    config.slice = slice;
+    const Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+    EXPECT_GE(m.avg_cct(), prev * 0.999) << slice;
+    prev = m.avg_cct();
+  }
+}
+
+TEST(Engine, CompressionReducesWireBytes) {
+  const auto trace = single_flow_trace(1000.0);
+  const fabric::Fabric fabric(2, 1.0);  // 1 B/s: compression clearly wins
+  const cpu::ConstantCpu cpu(1.0);
+  auto sched = make_scheduler("FVDF");
+  SimConfig config;
+  const codec::CodecModel codec{"t", 100.0, 400.0, 0.5};
+  config.codec = &codec;
+  const Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+  EXPECT_NEAR(m.total_wire_bytes(), 500.0, 1.0);
+  EXPECT_NEAR(m.traffic_reduction(), 0.5, 0.01);
+  // FCT ~ compression time (1000/100 = 10s) + wire (500/1 = 500s), far
+  // below the uncompressed 1000s.
+  EXPECT_LT(m.flows[0].fct(), 550.0);
+}
+
+TEST(Engine, IncompressibleFlowIsNeverCompressed) {
+  auto trace = single_flow_trace(1000.0);
+  trace.coflows[0].flows[0].compressible = false;
+  const fabric::Fabric fabric(2, 1.0);
+  const cpu::ConstantCpu cpu(1.0);
+  auto sched = make_scheduler("FVDF");
+  SimConfig config;
+  const codec::CodecModel codec{"t", 100.0, 400.0, 0.5};
+  config.codec = &codec;
+  const Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+  EXPECT_NEAR(m.total_wire_bytes(), 1000.0, 1e-6);
+}
+
+TEST(Engine, CpuStallFallsBackToTransmission) {
+  // CPU idle only for the first 0.5 s: compression starts, stalls, and the
+  // engine must reschedule to plain transmission instead of deadlocking.
+  const auto trace = single_flow_trace(100.0);
+  const fabric::Fabric fabric(2, 10.0);
+  const cpu::WindowedCpu cpu({{0.0, 0.5}});
+  auto sched = make_scheduler("FVDF");
+  SimConfig config;
+  const codec::CodecModel codec{"t", 40.0, 160.0, 0.5};
+  config.codec = &codec;
+  const Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+  ASSERT_EQ(m.flows.size(), 1u);
+  EXPECT_GT(m.flows[0].completion, 0.0);
+  // Partially compressed: wire bytes strictly between 50 and 100.
+  EXPECT_GT(m.total_wire_bytes(), 50.0);
+  EXPECT_LT(m.total_wire_bytes(), 100.0);
+}
+
+namespace {
+/// A deliberately broken scheduler that oversubscribes every port.
+class OverloadScheduler final : public sched::Scheduler {
+ public:
+  std::string name() const override { return "overload"; }
+  fabric::Allocation schedule(const sched::SchedContext& ctx) override {
+    fabric::Allocation a;
+    for (const auto* f : ctx.flows)
+      a.set_rate(f->id, ctx.fabric->ingress_capacity(f->src) * 2.0);
+    return a;
+  }
+};
+
+/// A scheduler that never allocates anything.
+class LazyScheduler final : public sched::Scheduler {
+ public:
+  std::string name() const override { return "lazy"; }
+  fabric::Allocation schedule(const sched::SchedContext&) override {
+    return {};
+  }
+};
+}  // namespace
+
+TEST(Engine, RejectsInfeasibleAllocations) {
+  const auto trace = single_flow_trace(10.0);
+  const fabric::Fabric fabric(2, 1.0);
+  const cpu::ConstantCpu cpu(0.0);
+  OverloadScheduler sched;
+  EXPECT_THROW(run_simulation(trace, fabric, cpu, sched, {}), SimError);
+}
+
+TEST(Engine, DetectsDeadlock) {
+  const auto trace = single_flow_trace(10.0);
+  const fabric::Fabric fabric(2, 1.0);
+  const cpu::ConstantCpu cpu(0.0);
+  LazyScheduler sched;
+  SimConfig config;
+  config.slice = 0.05;  // keep the stall window short
+  EXPECT_THROW(run_simulation(trace, fabric, cpu, sched, config), SimError);
+}
+
+TEST(Engine, RejectsBadConfigs) {
+  const auto trace = single_flow_trace(10.0);
+  const fabric::Fabric fabric(2, 1.0);
+  const fabric::Fabric small(1, 1.0);
+  const cpu::ConstantCpu cpu(0.0);
+  auto sched = make_scheduler("FIFO");
+  SimConfig config;
+  config.slice = 0.0;
+  EXPECT_THROW(run_simulation(trace, fabric, cpu, *sched, config),
+               std::invalid_argument);
+  EXPECT_THROW(run_simulation(trace, small, cpu, *sched, {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, EmptyTraceYieldsEmptyMetrics) {
+  workload::Trace t;
+  t.num_ports = 2;
+  const fabric::Fabric fabric(2, 1.0);
+  const cpu::ConstantCpu cpu(0.0);
+  auto sched = make_scheduler("FIFO");
+  const Metrics m = run_simulation(t, fabric, cpu, *sched, {});
+  EXPECT_TRUE(m.flows.empty());
+  EXPECT_TRUE(m.coflows.empty());
+  EXPECT_DOUBLE_EQ(m.avg_fct(), 0.0);
+}
+
+}  // namespace
+}  // namespace swallow::sim

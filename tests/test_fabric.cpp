@@ -1,0 +1,117 @@
+// Fabric and coflow-state tests: the big-switch model, flow volume
+// bookkeeping, and the coflow aggregate helpers (bottleneck, width, volume).
+#include <gtest/gtest.h>
+
+#include "fabric/coflow.hpp"
+#include "fabric/fabric.hpp"
+
+namespace swallow::fabric {
+namespace {
+
+TEST(Fabric, UniformConstruction) {
+  const Fabric f(4, 100.0);
+  EXPECT_EQ(f.num_ports(), 4u);
+  for (PortId p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(f.ingress_capacity(p), 100.0);
+    EXPECT_DOUBLE_EQ(f.egress_capacity(p), 100.0);
+  }
+  EXPECT_DOUBLE_EQ(f.min_capacity(), 100.0);
+}
+
+TEST(Fabric, HeterogeneousConstruction) {
+  const Fabric f({10.0, 20.0}, {30.0, 5.0});
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(1), 20.0);
+  EXPECT_DOUBLE_EQ(f.egress_capacity(1), 5.0);
+  EXPECT_DOUBLE_EQ(f.min_capacity(), 5.0);
+}
+
+TEST(Fabric, RejectsInvalidConfigs) {
+  EXPECT_THROW(Fabric(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Fabric(3, 0.0), std::invalid_argument);
+  using Caps = std::vector<common::Bps>;
+  EXPECT_THROW(Fabric(Caps{1.0}, Caps{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric(Caps{0.0}, Caps{1.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric(Caps{}, Caps{}), std::invalid_argument);
+}
+
+TEST(Flow, VolumeIsRawPlusCompressed) {
+  Flow f;
+  f.raw_remaining = 70;
+  f.compressed_pending = 30;
+  EXPECT_DOUBLE_EQ(f.volume(), 100.0);
+  EXPECT_FALSE(f.done());
+  f.raw_remaining = 0;
+  f.compressed_pending = 0;
+  EXPECT_TRUE(f.done());
+  EXPECT_FALSE(f.completed());
+  f.completion = 5.0;
+  EXPECT_TRUE(f.completed());
+}
+
+class CoflowHelpers : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Coflow of three flows; flow 1 is finished.
+    for (int i = 0; i < 3; ++i) {
+      Flow f;
+      f.id = static_cast<FlowId>(i);
+      f.coflow = 7;
+      flows_.push_back(f);
+    }
+    flows_[0].src = 0;
+    flows_[0].dst = 1;
+    flows_[0].raw_remaining = 100;
+    flows_[1].src = 1;
+    flows_[1].dst = 1;
+    flows_[1].raw_remaining = 0;  // done
+    flows_[2].src = 0;
+    flows_[2].dst = 2;
+    flows_[2].raw_remaining = 40;
+    flows_[2].compressed_pending = 10;
+    coflow_.id = 7;
+    coflow_.flows = {0, 1, 2};
+  }
+  std::vector<Flow> flows_;
+  Coflow coflow_;
+};
+
+TEST_F(CoflowHelpers, VolumeSumsUnfinishedFlows) {
+  EXPECT_DOUBLE_EQ(coflow_volume(coflow_, flows_), 150.0);
+}
+
+TEST_F(CoflowHelpers, WidthCountsUnfinishedFlows) {
+  EXPECT_EQ(coflow_width(coflow_, flows_), 2u);
+}
+
+TEST_F(CoflowHelpers, MaxFlow) {
+  EXPECT_DOUBLE_EQ(coflow_max_flow(coflow_, flows_), 100.0);
+}
+
+TEST_F(CoflowHelpers, BottleneckIsWorstPort) {
+  // Ingress 0 carries flows 0 and 2: 150 bytes; egress 1 carries 100;
+  // egress 2 carries 50. At capacity 10 the bottleneck is 150/10.
+  const Fabric fabric(3, 10.0);
+  EXPECT_DOUBLE_EQ(coflow_bottleneck(coflow_, flows_, fabric), 15.0);
+}
+
+TEST_F(CoflowHelpers, BottleneckHonoursHeterogeneousCapacity) {
+  // Make egress 2 tiny: flow 2's 50 bytes over 0.5 dominates.
+  const Fabric fabric({10.0, 10.0, 10.0}, {10.0, 10.0, 0.5});
+  EXPECT_DOUBLE_EQ(coflow_bottleneck(coflow_, flows_, fabric), 100.0);
+}
+
+TEST_F(CoflowHelpers, FlowsOfResolvesPointers) {
+  const auto ptrs = flows_of(coflow_, flows_);
+  ASSERT_EQ(ptrs.size(), 3u);
+  EXPECT_EQ(ptrs[0]->id, 0u);
+  EXPECT_EQ(ptrs[2]->id, 2u);
+}
+
+TEST(Coflow, PriorityDefaultsToOne) {
+  const Coflow c;
+  EXPECT_DOUBLE_EQ(c.priority, 1.0);
+  EXPECT_FALSE(c.completed());
+}
+
+}  // namespace
+}  // namespace swallow::fabric

@@ -1,0 +1,85 @@
+// Metrics tests: derived statistics over hand-built records.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace swallow::sim {
+namespace {
+
+Metrics sample_metrics() {
+  Metrics m;
+  // Two jobs: job 1 = coflows 1, 2; job 2 = coflow 3.
+  m.coflows = {
+      {1, 1, 2, 1000, 800, 0.0, 4.0},
+      {2, 1, 1, 500, 500, 1.0, 3.0},
+      {3, 2, 1, 200, 100, 2.0, 8.0},
+  };
+  m.flows = {
+      {0, 1, 1, 600, 500, 0.0, 4.0},
+      {1, 1, 1, 400, 300, 0.0, 3.0},
+      {2, 2, 1, 500, 500, 1.0, 3.0},
+      {3, 3, 2, 200, 100, 2.0, 8.0},
+  };
+  return m;
+}
+
+TEST(Metrics, Averages) {
+  const Metrics m = sample_metrics();
+  EXPECT_DOUBLE_EQ(m.avg_fct(), (4.0 + 3.0 + 2.0 + 6.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.avg_cct(), (4.0 + 2.0 + 6.0) / 3.0);
+}
+
+TEST(Metrics, JobsAggregateCoflows) {
+  const Metrics m = sample_metrics();
+  const auto jobs = m.jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[0].completion, 4.0);
+  EXPECT_DOUBLE_EQ(jobs[1].jct(), 6.0);
+  EXPECT_DOUBLE_EQ(m.avg_jct(), (4.0 + 6.0) / 2.0);
+}
+
+TEST(Metrics, TrafficAccounting) {
+  const Metrics m = sample_metrics();
+  EXPECT_DOUBLE_EQ(m.total_original_bytes(), 1700.0);
+  EXPECT_DOUBLE_EQ(m.total_wire_bytes(), 1400.0);
+  EXPECT_NEAR(m.traffic_reduction(), 1.0 - 1400.0 / 1700.0, 1e-12);
+}
+
+TEST(Metrics, CdfsAndMakespan) {
+  const Metrics m = sample_metrics();
+  EXPECT_DOUBLE_EQ(m.fct_cdf().max(), 6.0);
+  EXPECT_DOUBLE_EQ(m.cct_cdf().min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.makespan(), 8.0);
+}
+
+TEST(Metrics, CumulativeJobsPerUnit) {
+  const Metrics m = sample_metrics();
+  // Job 1 completes at 4, job 2 at 8.
+  const auto units = m.cumulative_jobs_per_unit(3.0, 3);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0], 0u);  // by t=3
+  EXPECT_EQ(units[1], 1u);  // by t=6
+  EXPECT_EQ(units[2], 2u);  // by t=9
+}
+
+TEST(Metrics, FctBySizeBand) {
+  const Metrics m = sample_metrics();
+  EXPECT_DOUBLE_EQ(m.avg_fct_in_size_band(0, 450), 4.5);     // flows 1 & 3
+  EXPECT_DOUBLE_EQ(m.avg_fct_in_size_band(450, 550), 2.0);   // flow 2
+  EXPECT_DOUBLE_EQ(m.avg_fct_in_size_band(1000, 2000), 0.0);      // none
+}
+
+TEST(Metrics, EmptyMetricsAreZero) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.avg_fct(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_cct(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_jct(), 0.0);
+  EXPECT_DOUBLE_EQ(m.traffic_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.makespan(), 0.0);
+  EXPECT_TRUE(m.jobs().empty());
+}
+
+}  // namespace
+}  // namespace swallow::sim

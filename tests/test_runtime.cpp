@@ -1,0 +1,358 @@
+// Runtime tests: channel, rate limiter, block store, buffer pool, port
+// gate ordering, master scheduling, the Table IV SwallowContext API, and
+// end-to-end shuffle jobs with payload verification.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/bus.hpp"
+#include "runtime/context.hpp"
+#include "runtime/shuffle.hpp"
+
+namespace swallow::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+TEST(Channel, FifoDelivery) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.receive(), 1);
+  EXPECT_EQ(ch.try_receive(), 2);
+  EXPECT_EQ(ch.try_receive(), std::nullopt);
+}
+
+TEST(Channel, CloseDrainsThenSignals) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_FALSE(ch.send(8));
+  EXPECT_EQ(ch.receive(), 7);
+  EXPECT_EQ(ch.receive(), std::nullopt);
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CrossThreadHandoff) {
+  Channel<int> ch;
+  std::jthread producer([&] {
+    for (int i = 0; i < 100; ++i) ch.send(i);
+    ch.close();
+  });
+  int expected = 0;
+  while (auto v = ch.receive()) EXPECT_EQ(*v, expected++);
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(RateLimiter, EnforcesConfiguredRate) {
+  RateLimiter limiter(1024 * 1024, 16 * 1024);  // 1 MiB/s, small burst
+  limiter.acquire(16 * 1024);                   // drain the initial burst
+  const auto t0 = Clock::now();
+  limiter.acquire(256 * 1024);  // should take ~0.25 s
+  const double elapsed = seconds(t0, Clock::now());
+  EXPECT_GT(elapsed, 0.15);
+  EXPECT_LT(elapsed, 0.6);
+}
+
+TEST(RateLimiter, BurstPassesImmediately) {
+  RateLimiter limiter(1024, 64 * 1024);
+  const auto t0 = Clock::now();
+  limiter.acquire(32 * 1024);  // within the initial bucket
+  EXPECT_LT(seconds(t0, Clock::now()), 0.05);
+}
+
+TEST(RateLimiter, SetRateTakesEffect) {
+  RateLimiter limiter(1024, 1024);
+  limiter.set_rate(8 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(limiter.rate(), 8.0 * 1024 * 1024);
+  EXPECT_THROW(limiter.set_rate(0), std::invalid_argument);
+  EXPECT_THROW(RateLimiter(0), std::invalid_argument);
+}
+
+TEST(BlockStore, PutTakeRoundtrip) {
+  BlockStore store;
+  store.put({1, 2}, {10, 20, 30});
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.resident_bytes(), 3u);
+  const codec::Buffer data = store.take({1, 2});
+  EXPECT_EQ(data, (codec::Buffer{10, 20, 30}));
+  EXPECT_EQ(store.block_count(), 0u);
+  EXPECT_EQ(store.resident_bytes(), 0u);
+}
+
+TEST(BlockStore, TakeBlocksUntilPut) {
+  BlockStore store;
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    store.put({5, 5}, {42});
+  });
+  const auto t0 = Clock::now();
+  const codec::Buffer data = store.take({5, 5});
+  EXPECT_EQ(data.front(), 42);
+  EXPECT_GT(seconds(t0, Clock::now()), 0.01);
+}
+
+TEST(BlockStore, DropCoflowRemovesAllItsBlocks) {
+  BlockStore store;
+  store.put({1, 1}, {1, 1});
+  store.put({1, 2}, {2, 2, 2});
+  store.put({2, 1}, {3});
+  EXPECT_EQ(store.drop_coflow(1), 5u);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.drop_coflow(99), 0u);
+}
+
+TEST(BufferPool, TracksAllocationAndReclaim) {
+  BufferPool pool;
+  auto b1 = pool.allocate(1000);
+  auto b2 = pool.allocate(500);
+  pool.release(std::move(b1));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.bytes_allocated, 1500u);
+  EXPECT_EQ(stats.bytes_released, 1000u);
+  EXPECT_GE(stats.reclaim_time, 0.0);
+  pool.release(std::move(b2));
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().allocations, 0u);
+}
+
+TEST(BufferPool, ReclaimTimeGrowsWithBytes) {
+  BufferPool pool;
+  for (int i = 0; i < 50; ++i) pool.release(pool.allocate(1 << 20));
+  const double big = pool.stats().reclaim_time;
+  pool.reset_stats();
+  for (int i = 0; i < 50; ++i) pool.release(pool.allocate(1 << 10));
+  EXPECT_GT(big, pool.stats().reclaim_time);
+}
+
+TEST(PortGate, LowerRankGoesFirst) {
+  PortGate gate;
+  gate.acquire(5);  // hold the port
+  std::vector<int> order;
+  std::mutex order_mutex;
+  std::jthread late([&] {
+    gate.acquire(10);
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(10);
+    }
+    gate.release();
+  });
+  std::jthread early([&] {
+    // Give the rank-10 waiter time to queue up first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.acquire(1);
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(1);
+    }
+    gate.release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  gate.release();  // both waiters queued: rank 1 must win
+  late.join();
+  early.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 10);
+}
+
+ClusterConfig fast_config(bool compress = true) {
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.nic_rate = 512.0 * 1024 * 1024;  // fast NIC keeps tests quick
+  config.smart_compress = compress;
+  // A model whose Eq. 3 gate stays open at this NIC speed.
+  config.codec_model = codec::CodecModel{"test", 4e9, 8e9, 0.5};
+  return config;
+}
+
+TEST(Master, AddScheduleRemoveLifecycle) {
+  Cluster cluster(fast_config());
+  Master& master = cluster.master();
+  CoflowInfo info;
+  info.flows = {{1, 0, 0, 1, 1000, true}, {2, 0, 0, 2, 500, true}};
+  const CoflowRef ref = master.add(std::move(info));
+  EXPECT_EQ(master.active_coflows(), 1u);
+
+  const SchedResult result = master.scheduling({ref});
+  ASSERT_EQ(result.order.size(), 1u);
+  EXPECT_EQ(result.order[0], ref);
+  EXPECT_TRUE(result.decisions.at(1).compress);
+  master.alloc(result);
+  EXPECT_EQ(master.rank_of(ref), 0u);
+  EXPECT_TRUE(master.decision_of(1).compress);
+
+  master.remove(ref);
+  EXPECT_EQ(master.active_coflows(), 0u);
+  EXPECT_FALSE(master.decision_of(1).compress);
+  EXPECT_THROW(master.scheduling({ref}), std::out_of_range);
+}
+
+TEST(Master, FvdfOrdersSmallerExpectedCompletionFirst) {
+  Cluster cluster(fast_config());
+  Master& master = cluster.master();
+  CoflowInfo big, small;
+  big.flows = {{1, 0, 0, 1, 10'000'000, true}};
+  small.flows = {{2, 0, 0, 1, 1'000, true}};
+  const CoflowRef big_ref = master.add(std::move(big));
+  const CoflowRef small_ref = master.add(std::move(small));
+  const SchedResult result = master.scheduling({big_ref, small_ref});
+  ASSERT_EQ(result.order.size(), 2u);
+  EXPECT_EQ(result.order[0], small_ref);
+  EXPECT_EQ(result.order[1], big_ref);
+}
+
+TEST(Master, CompressionGateClosesOnFastNic) {
+  ClusterConfig config = fast_config();
+  // Table II LZ4 against a NIC faster than R(1-xi).
+  config.codec_model = codec::default_codec_model();
+  config.nic_rate = common::gbps(10);
+  Cluster cluster(config);
+  CoflowInfo info;
+  info.flows = {{1, 0, 0, 1, 1000, true}};
+  const CoflowRef ref = cluster.master().add(std::move(info));
+  const SchedResult result = cluster.master().scheduling({ref});
+  EXPECT_FALSE(result.decisions.at(1).compress);
+}
+
+TEST(Master, SmartCompressOffDisablesCompression) {
+  Cluster cluster(fast_config(/*compress=*/false));
+  CoflowInfo info;
+  info.flows = {{1, 0, 0, 1, 1000, true}};
+  const CoflowRef ref = cluster.master().add(std::move(info));
+  const SchedResult result = cluster.master().scheduling({ref});
+  EXPECT_FALSE(result.decisions.at(1).compress);
+}
+
+TEST(Context, PushPullRoundtripCompressed) {
+  Cluster cluster(fast_config());
+  SwallowContext ctx(cluster);
+  common::Rng rng(3);
+  const codec::Buffer payload = codec::text_bytes(50'000, rng);
+
+  cluster.worker(0).register_flow({1, 0, 0, 1, payload.size(), true});
+  auto flows = ctx.hook(0);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_TRUE(ctx.hook(0).empty());  // hook drains
+
+  const CoflowRef ref = ctx.add(ctx.aggregate(std::move(flows)));
+  ctx.alloc(ctx.scheduling({ref}));
+
+  ctx.push(ref, 1, payload, 0, 1);
+  // Compression happened: wire bytes below raw bytes.
+  EXPECT_LT(cluster.total_wire_bytes(), payload.size());
+  EXPECT_EQ(cluster.total_raw_bytes(), payload.size());
+
+  const codec::Buffer restored = ctx.pull(ref, 1, 1);
+  EXPECT_EQ(restored, payload);
+  ctx.remove(ref);
+  EXPECT_EQ(cluster.worker(1).store().block_count(), 0u);
+}
+
+TEST(Context, PushWithoutCompressionKeepsBytes) {
+  Cluster cluster(fast_config(/*compress=*/false));
+  SwallowContext ctx(cluster);
+  common::Rng rng(4);
+  const codec::Buffer payload = codec::text_bytes(20'000, rng);
+  cluster.worker(0).register_flow({1, 0, 0, 1, payload.size(), true});
+  const CoflowRef ref = ctx.add(ctx.aggregate(ctx.hook(0)));
+  ctx.alloc(ctx.scheduling({ref}));
+  ctx.push(ref, 1, payload, 0, 1);
+  EXPECT_GE(cluster.total_wire_bytes(), payload.size());
+  EXPECT_EQ(ctx.pull(ref, 1, 1), payload);
+}
+
+TEST(Shuffle, JobRoundtripsAndReducesTraffic) {
+  Cluster cluster(fast_config());
+  ShuffleJobConfig job;
+  job.app = codec::app_by_name("Sort");
+  job.mappers = 3;
+  job.reducers = 2;
+  job.bytes_per_partition = 32 * 1024;
+  const ShuffleReport report = run_shuffle_job(cluster, job);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.raw_bytes, 3u * 2u * 32u * 1024u);
+  EXPECT_LT(report.wire_bytes, report.raw_bytes);
+  // Sort's Table I ratio ~ 0.25: expect substantial reduction.
+  EXPECT_GT(report.traffic_reduction(), 0.5);
+  EXPECT_GT(report.jct, 0.0);
+  EXPECT_GE(report.map_pool.releases, 6u);
+  EXPECT_GE(report.reduce_pool.releases, 6u);
+}
+
+TEST(Shuffle, CompressionOffMovesAllBytes) {
+  Cluster cluster(fast_config(/*compress=*/false));
+  ShuffleJobConfig job;
+  job.app = codec::app_by_name("Sort");
+  job.mappers = 2;
+  job.reducers = 2;
+  job.bytes_per_partition = 16 * 1024;
+  const ShuffleReport report = run_shuffle_job(cluster, job);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GE(report.wire_bytes, report.raw_bytes);  // container overhead
+  EXPECT_LT(report.traffic_reduction(), 0.01);
+}
+
+TEST(Shuffle, ConcurrentJobsShareTheCluster) {
+  Cluster cluster(fast_config());
+  ShuffleJobConfig job;
+  job.app = codec::app_by_name("Pagerank");
+  job.mappers = 2;
+  job.reducers = 2;
+  job.bytes_per_partition = 8 * 1024;
+  ShuffleReport a, b;
+  {
+    std::jthread j1([&] { a = run_shuffle_job(cluster, job); });
+    ShuffleJobConfig job2 = job;
+    job2.seed = 2;
+    std::jthread j2([&] { b = run_shuffle_job(cluster, job2); });
+  }
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  EXPECT_EQ(cluster.master().active_coflows(), 0u);
+}
+
+TEST(Shuffle, ResultStageReplicatesOutputs) {
+  Cluster cluster(fast_config());
+  ShuffleJobConfig job;
+  job.app = codec::app_by_name("Sort");
+  job.mappers = 2;
+  job.reducers = 2;
+  job.bytes_per_partition = 16 * 1024;
+  job.result_replicas = 2;
+  const ShuffleReport report = run_shuffle_job(cluster, job);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.result_time, 0.0);
+  // Raw bytes triple: shuffle + two replica writes of the same volume.
+  EXPECT_EQ(report.raw_bytes, 3u * 2u * 2u * 16u * 1024u);
+  // Replicated traffic is compressed too.
+  EXPECT_GT(report.traffic_reduction(), 0.5);
+  // remove() cleaned both coflows' blocks everywhere.
+  for (WorkerId w = 0; w < cluster.size(); ++w)
+    EXPECT_EQ(cluster.worker(w).store().block_count(), 0u) << w;
+}
+
+TEST(Shuffle, RejectsZeroTasks) {
+  Cluster cluster(fast_config());
+  ShuffleJobConfig job;
+  job.mappers = 0;
+  EXPECT_THROW(run_shuffle_job(cluster, job), std::invalid_argument);
+}
+
+TEST(Cluster, RejectsZeroWorkers) {
+  ClusterConfig config;
+  config.num_workers = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swallow::runtime

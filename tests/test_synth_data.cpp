@@ -1,0 +1,125 @@
+// Synthetic payload generators: size/determinism contracts, the
+// redundancy-ratio monotonicity the Table I calibration relies on, and the
+// per-application profile bands.
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+#include "codec/synth_data.hpp"
+
+namespace swallow::codec {
+namespace {
+
+using common::Rng;
+
+double measured_ratio(const Buffer& payload) {
+  const auto codec = make_codec(CodecKind::kLzBalanced);
+  return compression_ratio(payload.size(), codec->compress(payload).size());
+}
+
+TEST(SynthData, GeneratorsProduceRequestedSize) {
+  Rng rng(1);
+  for (const std::size_t n : {0ul, 1ul, 1000ul, 65536ul}) {
+    EXPECT_EQ(random_bytes(n, rng).size(), n);
+    EXPECT_EQ(run_bytes(n, rng).size(), n);
+    EXPECT_EQ(text_bytes(n, rng).size(), n);
+    EXPECT_EQ(record_bytes(n, rng).size(), n);
+    EXPECT_EQ(mixed_bytes(n, rng, 0.3).size(), n);
+  }
+}
+
+TEST(SynthData, DeterministicForSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(text_bytes(4096, a), text_bytes(4096, b));
+}
+
+TEST(SynthData, RandomBytesAreIncompressible) {
+  Rng rng(2);
+  EXPECT_GT(measured_ratio(random_bytes(1 << 17, rng)), 0.95);
+}
+
+TEST(SynthData, RunBytesAreHighlyCompressible) {
+  Rng rng(3);
+  EXPECT_LT(measured_ratio(run_bytes(1 << 17, rng)), 0.2);
+}
+
+TEST(SynthData, TextSitsBetweenRunsAndNoise) {
+  Rng rng(4);
+  const double r = measured_ratio(text_bytes(1 << 17, rng));
+  EXPECT_GT(r, 0.1);
+  EXPECT_LT(r, 0.7);
+}
+
+TEST(SynthData, SmallerVocabularyCompressesBetter) {
+  Rng a(5), b(5);
+  const double small_vocab = measured_ratio(text_bytes(1 << 17, a, 256, 1.2));
+  const double large_vocab =
+      measured_ratio(text_bytes(1 << 17, b, 65536, 1.0));
+  EXPECT_LT(small_vocab, large_vocab);
+}
+
+TEST(SynthData, MixedRatioIsMonotoneInRandomFraction) {
+  double prev = 0.0;
+  for (const double rf : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Rng rng(6);
+    const double r = measured_ratio(mixed_bytes(1 << 17, rng, rf));
+    EXPECT_GT(r, prev - 0.02) << rf;  // allow small sampling noise
+    prev = r;
+  }
+}
+
+TEST(Table1Apps, HasElevenPaperApplications) {
+  const auto& apps = table1_apps();
+  ASSERT_EQ(apps.size(), 11u);
+  EXPECT_EQ(apps.front().name, "Wordcount");
+  EXPECT_DOUBLE_EQ(app_by_name("Sort").paper_ratio, 0.2496);
+  EXPECT_DOUBLE_EQ(app_by_name("Logistic Regression").paper_ratio, 0.7513);
+  EXPECT_THROW(app_by_name("Unknown"), std::out_of_range);
+}
+
+class AppProfileTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AppProfileTest, MeasuredRatioNearPaperBand) {
+  const AppProfile& app = table1_apps().at(GetParam());
+  Rng rng(100 + GetParam());
+  const Buffer payload = app.generate(1 << 17, rng);
+  ASSERT_EQ(payload.size(), std::size_t{1} << 17);
+  const double r = measured_ratio(payload);
+  // Calibration band: the bench prints exact paper-vs-measured.
+  EXPECT_NEAR(r, app.paper_ratio, 0.05) << app.name;
+}
+
+TEST_P(AppProfileTest, RoundtripsThroughEveryLzPreset) {
+  const AppProfile& app = table1_apps().at(GetParam());
+  Rng rng(200 + GetParam());
+  const Buffer payload = app.generate(1 << 15, rng);
+  for (const CodecKind kind :
+       {CodecKind::kLzFast, CodecKind::kLzBalanced, CodecKind::kLzHigh}) {
+    const auto codec = make_codec(kind);
+    EXPECT_EQ(codec->decompress(codec->compress(payload)), payload)
+        << app.name << " / " << codec_kind_name(kind);
+  }
+}
+
+std::string app_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = table1_apps().at(info.param).name;
+  for (auto& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProfileTest,
+                         ::testing::Range<std::size_t>(0, 11), app_name);
+
+TEST(Table1Apps, OrderingRoughlyPreserved) {
+  // The most and least compressible paper apps must stay ordered when
+  // measured with the real codec.
+  Rng a(7), b(8);
+  const double dfsio =
+      measured_ratio(app_by_name("Enhanced DFSIO").generate(1 << 17, a));
+  const double logreg =
+      measured_ratio(app_by_name("Logistic Regression").generate(1 << 17, b));
+  EXPECT_LT(dfsio, logreg);
+}
+
+}  // namespace
+}  // namespace swallow::codec
