@@ -2,19 +2,26 @@
 // the Varys SEBF baseline, on a 100 Mbps fabric with the LZ4 codec model.
 //
 //   ./quickstart [--coflows=40] [--ports=12] [--seed=1]
+//                [--log-level=info] [--trace-out=trace.json]
 //
 // This is the smallest end-to-end use of the library: generate a workload,
-// pick a scheduler, run the simulator, read the metrics.
+// pick a scheduler, run the simulator, read the metrics. --trace-out
+// records every scheduler decision (Γ_C, priority classes, β switches,
+// preemptions) as Chrome trace_event JSON — open it in
+// https://ui.perfetto.dev or chrome://tracing.
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "cpu/cpu_model.hpp"
+#include "obs/cli.hpp"
 #include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace swallow;
   const common::Flags flags(argc, argv);
+  common::apply_log_level_flag(flags);
+  const std::unique_ptr<obs::Tracer> tracer = obs::tracer_from_flags(flags);
 
   // 1. A synthetic Spark-like workload: heavy-tailed coflows, Poisson
   //    arrivals. (Use workload::parse_trace_file to replay your own trace.)
@@ -33,6 +40,7 @@ int main(int argc, char** argv) {
   const cpu::ConstantCpu cpu(0.9);
   sim::SimConfig config;
   config.codec = &codec::default_codec_model();  // Table II LZ4
+  config.sink = tracer.get();
 
   // 3. Run both schedulers and compare.
   common::Table table({"scheduler", "avg CCT (s)", "avg FCT (s)",
@@ -52,5 +60,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nFVDF = joint scheduling + compression (this paper);"
                " SEBF = Varys baseline.\n";
+  if (tracer != nullptr && obs::write_trace_from_flags(flags, *tracer))
+    std::cout << "\ntrace: " << tracer->size() << " events -> "
+              << flags.get("trace-out", "")
+              << " (open in https://ui.perfetto.dev)\n";
   return 0;
 }

@@ -10,12 +10,18 @@
 #include "codec/synth_data.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "obs/cli.hpp"
 #include "runtime/context.hpp"
 
 int main(int argc, char** argv) {
   using namespace swallow;
   using namespace swallow::runtime;
   const common::Flags flags(argc, argv);
+  common::apply_log_level_flag(flags);
+  // --trace-out records master decisions plus per-push/pull wall-clock
+  // profiles; the global sink additionally captures codec-level scopes.
+  const std::unique_ptr<obs::Tracer> tracer = obs::tracer_from_flags(flags);
+  obs::set_global_sink(tracer.get());
   const auto block_bytes =
       static_cast<std::size_t>(flags.get_int("block_bytes", 96 * 1024));
 
@@ -26,6 +32,7 @@ int main(int argc, char** argv) {
   config.smart_compress = flags.get_bool("smartCompress", true);
   config.codec_model = codec::CodecModel{"swlz", 500.0 * common::kMB,
                                          1500.0 * common::kMB, 0.45};
+  config.sink = tracer.get();
   Cluster cluster(config);
   SwallowContext sc(cluster);  // "val sc = new SwallowContext()"
 
@@ -101,5 +108,9 @@ int main(int argc, char** argv) {
             << common::fmt_percent(1.0 - static_cast<double>(wire) /
                                              static_cast<double>(raw))
             << " traffic reduction)\n";
+  obs::set_global_sink(nullptr);
+  if (tracer != nullptr && obs::write_trace_from_flags(flags, *tracer))
+    std::cout << "trace: " << tracer->size() << " events -> "
+              << flags.get("trace-out", "") << '\n';
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/logging.hpp"
+
 namespace swallow::common {
 
 Flags::Flags(int argc, const char* const* argv) {
@@ -12,10 +14,16 @@ Flags::Flags(int argc, const char* const* argv) {
       throw std::invalid_argument("Flags: expected --key[=value], got " + arg);
     arg = arg.substr(2);
     const auto eq = arg.find('=');
-    if (eq == std::string::npos)
-      values_[arg] = "true";
-    else
+    if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value": consume the next token unless it is itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
   }
 }
 
@@ -40,6 +48,18 @@ bool Flags::get_bool(const std::string& key, bool def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void apply_log_level_flag(const Flags& flags) {
+  if (!flags.has("log-level")) return;
+  const std::string level = flags.get("log-level", "warn");
+  try {
+    set_log_level(parse_log_level(level));
+  } catch (const std::invalid_argument&) {
+    // A bad level must not abort the program it was meant to make chattier.
+    log_error("flags: ignoring unknown --log-level '", level,
+              "' (expected debug|info|warn|error)");
+  }
 }
 
 }  // namespace swallow::common

@@ -8,7 +8,9 @@ namespace swallow::common {
 
 class Flags {
  public:
-  /// Accepts "--key=value" and bare "--key" (=> "true"); rejects positionals.
+  /// Accepts "--key=value", "--key value" (the next token, when it does not
+  /// itself start with "--"), and bare "--key" (=> "true"); rejects
+  /// positionals.
   Flags(int argc, const char* const* argv);
 
   bool has(const std::string& key) const;
@@ -20,5 +22,9 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the standard --log-level=debug|info|warn|error flag to the
+/// global logger (no-op when absent). Examples call this first thing.
+void apply_log_level_flag(const Flags& flags);
 
 }  // namespace swallow::common

@@ -1,14 +1,18 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
 
 namespace swallow::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;  // keeps multi-threaded runtime log lines whole
+LogSinkFn g_sink;    // guarded by g_mutex; empty => stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,9 +28,29 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "debug") return LogLevel::kDebug;
+  if (key == "info") return LogLevel::kInfo;
+  if (key == "warn" || key == "warning") return LogLevel::kWarn;
+  if (key == "error") return LogLevel::kError;
+  throw std::invalid_argument("parse_log_level: unknown level " + name);
+}
+
+void set_log_sink(LogSinkFn sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
 void log(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << "[" << level_name(level) << "] " << message << '\n';
 }
 

@@ -2,6 +2,7 @@
 // examples raise it to INFO to narrate what they do.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,6 +12,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// "debug"/"info"/"warn"/"error" (case-insensitive); throws
+/// std::invalid_argument otherwise.
+LogLevel parse_log_level(const std::string& name);
+
+/// Where formatted log lines go. Called with the mutex held, so sinks need
+/// no synchronization of their own but must not log re-entrantly.
+using LogSinkFn = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the stderr writer (tests capture output this way); an empty
+/// function restores the default.
+void set_log_sink(LogSinkFn sink);
 
 void log(LogLevel level, const std::string& message);
 

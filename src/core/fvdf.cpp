@@ -1,8 +1,12 @@
 #include "core/fvdf.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace swallow::core {
 
@@ -29,6 +33,36 @@ common::Seconds expected_fct(const fabric::Flow& flow, bool beta,
   const common::Bytes rest = std::max(0.0, flow.volume() - disposal);
   return slice + rest / bandwidth;
 }
+
+namespace {
+
+// Cold, out-of-line emitters keep the Args-building machinery out of the
+// time_calculation loop body, so the traced-off path stays tight.
+[[gnu::noinline, gnu::cold]] void emit_beta_decision(
+    const sched::SchedContext& ctx, const fabric::Flow& f,
+    const fabric::Coflow& c, bool beta, common::Seconds fct) {
+  obs::emit_instant(ctx.sink, obs::sim_ts(ctx.now), "beta_decision", "fvdf",
+                    obs::Args()
+                        .add("flow", std::int64_t(f.id))
+                        .add("coflow", std::int64_t(c.id))
+                        .add("beta", beta)
+                        .add("expected_fct", fct)
+                        .str());
+}
+
+[[gnu::noinline, gnu::cold]] void emit_coflow_estimate(
+    const sched::SchedContext& ctx, const fabric::Coflow& c,
+    const CoflowEstimate& est) {
+  obs::emit_instant(ctx.sink, obs::sim_ts(ctx.now), "coflow_estimate", "fvdf",
+                    obs::Args()
+                        .add("coflow", std::int64_t(c.id))
+                        .add("gamma", est.gamma)
+                        .add("priority", c.priority)
+                        .add("key", est.adjusted_gamma)
+                        .str());
+}
+
+}  // namespace
 
 std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
                                              bool online,
@@ -69,9 +103,13 @@ std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
       const common::Seconds fct =
           expected_fct(*f, beta, model, headroom, bandwidth, ctx.slice);
       est.gamma = std::max(est.gamma, fct);  // Eq. 8
+      if (ctx.sink != nullptr) [[unlikely]]
+        emit_beta_decision(ctx, *f, *c, beta, fct);
     }
     est.adjusted_gamma =
         online ? est.gamma / std::max(c->priority, 1.0) : est.gamma;
+    if (ctx.sink != nullptr) [[unlikely]]
+      emit_coflow_estimate(ctx, *c, est);
     estimates.push_back(std::move(est));
   }
   return estimates;
@@ -79,6 +117,7 @@ std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
 
 fabric::Allocation fvdf_allocate(const sched::SchedContext& ctx, bool online,
                                  bool backfill, bool force_compression) {
+  obs::ProfileScope scope(ctx.sink, "fvdf.allocate");
   std::vector<CoflowEstimate> estimates =
       time_calculation(ctx, online, force_compression);
   std::stable_sort(estimates.begin(), estimates.end(),

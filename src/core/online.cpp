@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace swallow::core {
 
@@ -34,6 +37,15 @@ fabric::Allocation FvdfScheduler::schedule(const sched::SchedContext& ctx) {
       if (!starved_.count(c->id)) continue;
       if (c->priority < 1.0) c->priority = 1.0;
       c->priority *= kPriorityLogBase;
+      if (ctx.sink != nullptr) {
+        obs::emit_instant(ctx.sink, obs::sim_ts(ctx.now), "priority_upgrade",
+                          "fvdf",
+                          obs::Args()
+                              .add("coflow", std::int64_t(c->id))
+                              .add("priority", c->priority)
+                              .str());
+        ctx.sink->registry().counter("fvdf.priority_upgrades").add();
+      }
     }
   }
 

@@ -1,0 +1,35 @@
+#include "obs/cli.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace swallow::obs {
+
+std::unique_ptr<Tracer> tracer_from_flags(const common::Flags& flags) {
+  if (!flags.has("trace-out")) return nullptr;
+  return std::make_unique<Tracer>();
+}
+
+bool write_trace_from_flags(const common::Flags& flags, const Tracer& tracer) {
+  const std::string path = flags.get("trace-out", "");
+  if (path.empty() || path == "true") {
+    common::log_error("obs: --trace-out needs a file path");
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    common::log_error("obs: cannot open trace output file ", path);
+    return false;
+  }
+  tracer.write_chrome_trace(out);
+  if (!out.flush()) {
+    common::log_error("obs: short write to trace output file ", path);
+    return false;
+  }
+  common::log_info("obs: wrote Chrome trace to ", path,
+                   " (open in https://ui.perfetto.dev)");
+  return true;
+}
+
+}  // namespace swallow::obs

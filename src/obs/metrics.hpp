@@ -1,0 +1,82 @@
+// Thread-safe metrics registry: named counters, gauges and histograms with
+// JSON export. Instruments are created on first use and live as long as the
+// registry; references handed out stay valid, so hot paths can cache them
+// and update lock-free (counters/gauges are single atomics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swallow::obs {
+
+/// Monotonic event count. add() is lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar. set() is lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Value distribution with nearest-rank percentile queries. Stores every
+/// sample (8 bytes each); callers recording at very high frequency should
+/// pre-aggregate.
+class Histogram {
+ public:
+  void record(double v);
+  std::size_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  /// Nearest-rank percentile, p in [0, 100]; 0 when empty.
+  double percentile(double p) const;
+  std::vector<double> samples() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Name -> instrument registry. Lookup takes a mutex; the returned reference
+/// is stable for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p95,p99}}} — keys sorted, so output is deterministic.
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace swallow::obs

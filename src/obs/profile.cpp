@@ -1,0 +1,45 @@
+#include "obs/profile.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace swallow::obs {
+
+double wall_now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+void ProfileScope::begin() {
+  start_us_ = wall_now_us();
+  if (!emit_events_) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ph = 'B';
+  ev.ts = start_us_;
+  ev.pid = kWallPid;
+  ev.tid = current_thread_tid();
+  sink_->record(std::move(ev));
+}
+
+void ProfileScope::end() {
+  const double end_us = wall_now_us();
+  if (emit_events_) {
+    TraceEvent ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.ph = 'E';
+    ev.ts = end_us;
+    ev.pid = kWallPid;
+    ev.tid = current_thread_tid();
+    sink_->record(std::move(ev));
+  }
+  sink_->registry()
+      .histogram(std::string("prof.") + name_)
+      .record(end_us - start_us_);
+}
+
+}  // namespace swallow::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace swallow::obs {
+
+namespace {
+
+std::atomic<Sink*> g_sink{nullptr};
+
+void write_event_json(std::ostream& out, const TraceEvent& ev) {
+  out << "{\"name\":" << json_quote(ev.name) << ",\"cat\":"
+      << json_quote(ev.cat) << ",\"ph\":\"" << ev.ph
+      << "\",\"ts\":" << json_number(ev.ts) << ",\"pid\":" << ev.pid
+      << ",\"tid\":" << ev.tid;
+  if (ev.ph == 'X') out << ",\"dur\":" << json_number(ev.dur);
+  if (ev.ph == 'i') out << ",\"s\":\"g\"";  // global-scope instant marker
+  if (!ev.args.empty()) out << ",\"args\":" << ev.args;
+  out << '}';
+}
+
+}  // namespace
+
+Args& Args::add(std::string_view key, double v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(key) + ':' + json_number(v);
+  return *this;
+}
+
+Args& Args::add(std::string_view key, std::int64_t v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(key) + ':' + std::to_string(v);
+  return *this;
+}
+
+Args& Args::add(std::string_view key, std::uint64_t v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(key) + ':' + std::to_string(v);
+  return *this;
+}
+
+Args& Args::add(std::string_view key, bool v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(key) + ':' + (v ? "true" : "false");
+  return *this;
+}
+
+Args& Args::add(std::string_view key, std::string_view v) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(key) + ':' + json_quote(v);
+  return *this;
+}
+
+std::string Args::str() const {
+  return body_.empty() ? std::string() : '{' + body_ + '}';
+}
+
+Tracer::Tracer(std::size_t max_events) : max_events_(max_events) {}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::vector<std::size_t> order(snapshot.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return snapshot[a].ts < snapshot[b].ts;
+                   });
+  out << "{\"traceEvents\":[";
+  // Named tracks so Perfetto labels the two timebases.
+  out << R"({"name":"process_name","cat":"__metadata","ph":"M","ts":0,"pid":)"
+      << kSimPid << R"(,"tid":0,"args":{"name":"simulated-time"}},)";
+  out << R"({"name":"process_name","cat":"__metadata","ph":"M","ts":0,"pid":)"
+      << kWallPid << R"(,"tid":0,"args":{"name":"wall-clock"}})";
+  for (const std::size_t i : order) {
+    out << ',';
+    write_event_json(out, snapshot[i]);
+  }
+  out << "]}";
+  const std::size_t lost = dropped();
+  if (lost > 0)
+    common::log_warn("obs: tracer dropped ", lost,
+                     " events (buffer cap reached); raise Tracer max_events");
+  common::log_info("obs: exported ", snapshot.size(), " trace events");
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : events()) {
+    write_event_json(out, ev);
+    out << '\n';
+  }
+}
+
+void emit_instant(Sink* sink, double ts_us, std::string name, std::string cat,
+                  std::string args, std::uint32_t pid, std::uint32_t tid) {
+  if (sink == nullptr) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'i';
+  ev.ts = ts_us;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  sink->record(std::move(ev));
+}
+
+std::uint32_t current_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_global_sink(Sink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+Sink* global_sink() { return g_sink.load(std::memory_order_acquire); }
+
+}  // namespace swallow::obs

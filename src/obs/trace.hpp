@@ -1,0 +1,117 @@
+// Event tracing for the simulator and runtime.
+//
+// A Sink receives TraceEvents and owns a metrics Registry; instrumentation
+// sites hold an optional `Sink*` and do nothing when it is null (one branch,
+// no allocation, no locking — the disabled-path guarantee DESIGN.md's
+// Observability section documents). The bundled Tracer buffers events in
+// memory and exports Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing) plus a JSONL stream for scripted analysis.
+//
+// Two timelines coexist, separated by pid: kSimPid carries simulated time
+// (1 µs = 1 simulated µs), kWallPid carries wall-clock profiling scopes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace swallow::obs {
+
+/// Chrome trace_event process ids: one per timebase.
+inline constexpr std::uint32_t kSimPid = 1;   ///< simulated-time track
+inline constexpr std::uint32_t kWallPid = 2;  ///< wall-clock track
+
+/// Converts simulated seconds to trace microseconds.
+inline double sim_ts(double seconds) { return seconds * 1e6; }
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';  ///< 'B'/'E' duration pair, 'X' complete, 'i' instant
+  double ts = 0;  ///< microseconds (simulated or wall, per pid)
+  double dur = 0;  ///< 'X' only
+  std::uint32_t pid = kSimPid;
+  std::uint32_t tid = 0;
+  std::string args;  ///< preformatted JSON object ("{...}"), may be empty
+};
+
+/// Builds the preformatted args object of a TraceEvent. Only used on the
+/// enabled path, so its allocations never tax an untraced run.
+class Args {
+ public:
+  Args& add(std::string_view key, double v);
+  Args& add(std::string_view key, std::int64_t v);
+  Args& add(std::string_view key, std::uint64_t v);
+  Args& add(std::string_view key, int v) {
+    return add(key, static_cast<std::int64_t>(v));
+  }
+  Args& add(std::string_view key, bool v);
+  Args& add(std::string_view key, std::string_view v);
+  std::string str() const;  ///< "{...}"; "" when no keys were added
+
+ private:
+  std::string body_;
+};
+
+/// Receiver of trace events. Implementations must tolerate concurrent
+/// record() calls (the runtime traces from worker threads).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void record(TraceEvent event) = 0;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+ private:
+  Registry registry_;
+};
+
+/// In-memory sink with bounded buffering and the two exporters. Overflow
+/// drops events (counted, reported through the logging layer at export).
+class Tracer final : public Sink {
+ public:
+  static constexpr std::size_t kDefaultMaxEvents = 1 << 20;
+
+  explicit Tracer(std::size_t max_events = kDefaultMaxEvents);
+
+  void record(TraceEvent event) override;
+
+  std::size_t size() const;
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::vector<TraceEvent> events() const;  ///< snapshot, record order
+
+  /// {"traceEvents":[...]} with events sorted by ts (stable, so same-ts
+  /// events keep record order and B/E pairs stay nested per tid).
+  void write_chrome_trace(std::ostream& out) const;
+  /// One event object per line, record order.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_;
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// Emits an instant event; no-op when `sink` is null.
+void emit_instant(Sink* sink, double ts_us, std::string name, std::string cat,
+                  std::string args = {}, std::uint32_t pid = kSimPid,
+                  std::uint32_t tid = 0);
+
+/// Small dense id for the calling thread (1, 2, ... in first-use order);
+/// used as the Chrome tid of wall-clock events.
+std::uint32_t current_thread_tid();
+
+/// Process-global sink for layers with no plumbing of their own (the codec
+/// wrappers). Null by default; reading it is one relaxed atomic load.
+void set_global_sink(Sink* sink);
+Sink* global_sink();
+
+}  // namespace swallow::obs

@@ -4,6 +4,7 @@
 
 #include "codec/frame.hpp"
 #include "codec/null_codec.hpp"
+#include "obs/profile.hpp"
 
 namespace swallow::runtime {
 
@@ -11,13 +12,13 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       codec_(codec::make_codec(config.codec)),
       master_(config.nic_rate, config.codec_model, config.cpu_headroom,
-              config.smart_compress) {
+              config.smart_compress, config.sink) {
   if (config.num_workers == 0)
     throw std::invalid_argument("Cluster: zero workers");
   workers_.reserve(config.num_workers);
   for (std::size_t i = 0; i < config.num_workers; ++i)
     workers_.push_back(std::make_unique<Worker>(
-        static_cast<WorkerId>(i), config.nic_rate));
+        static_cast<WorkerId>(i), config.nic_rate, config.sink));
 }
 
 Worker& Cluster::worker(WorkerId id) { return *workers_.at(id); }
@@ -71,24 +72,33 @@ void SwallowContext::push(CoflowRef ref, BlockId block,
   // blockId encodes the flow: the master keyed its decision on it. Blocks
   // travel as checksummed frames (codec/frame.hpp), so wire corruption is
   // detected at pull time rather than silently reducing garbage.
+  obs::ProfileScope push_scope(cluster_->sink(), "runtime.push", "runtime");
   const FlowDecision decision = cluster_->master().decision_of(block);
   codec::Buffer wire;
-  if (decision.compress) {
-    wire = codec::frame_compress(cluster_->codec(), data);
-  } else {
-    const codec::NullCodec null;
-    wire = codec::frame_compress(null, data);
+  {
+    obs::ProfileScope scope(cluster_->sink(), "runtime.push.compress",
+                            "runtime");
+    if (decision.compress) {
+      wire = codec::frame_compress(cluster_->codec(), data);
+    } else {
+      const codec::NullCodec null;
+      wire = codec::frame_compress(null, data);
+    }
   }
 
   // Size the transfer buffer to the payload (receive buffers hold exactly
   // what crossed the wire, which is what compression shrinks).
   wire.shrink_to_fit();
 
-  const std::uint64_t rank = cluster_->master().rank_of(ref);
-  sender.egress_gate().acquire(rank);
-  sender.egress().acquire(wire.size());
-  receiver.ingress().acquire(wire.size());
-  sender.egress_gate().release();
+  {
+    obs::ProfileScope scope(cluster_->sink(), "runtime.push.transfer",
+                            "runtime");
+    const std::uint64_t rank = cluster_->master().rank_of(ref);
+    sender.egress_gate().acquire(rank);
+    sender.egress().acquire(wire.size());
+    receiver.ingress().acquire(wire.size());
+    sender.egress_gate().release();
+  }
 
   sender.account_transfer(data.size(), wire.size());
   receiver.store().put(BlockKey{ref, block}, std::move(wire));
@@ -96,9 +106,15 @@ void SwallowContext::push(CoflowRef ref, BlockId block,
 
 codec::Buffer SwallowContext::pull(CoflowRef ref, BlockId block, WorkerId dst,
                                    BufferPool* wire_reclaim) {
+  obs::ProfileScope pull_scope(cluster_->sink(), "runtime.pull", "runtime");
   codec::Buffer wire =
       cluster_->worker(dst).store().take(BlockKey{ref, block});
-  codec::Buffer data = codec::frame_decompress(wire);
+  codec::Buffer data;
+  {
+    obs::ProfileScope scope(cluster_->sink(), "runtime.pull.decompress",
+                            "runtime");
+    data = codec::frame_decompress(wire);
+  }
   if (wire_reclaim != nullptr) wire_reclaim->release(std::move(wire));
   return data;
 }

@@ -31,6 +31,10 @@ struct ClusterConfig {
   double cpu_headroom = 0.9;
   /// (R, xi) model for the compression gate; defaults to Table II's LZ4.
   codec::CodecModel codec_model = codec::default_codec_model();
+  /// Observability sink shared by the master, workers and context data
+  /// paths (scheduling decisions, transfer counters, gate-wait and
+  /// compress/transfer/decompress profiles). Null disables tracing.
+  obs::Sink* sink = nullptr;
 };
 
 class Cluster {
@@ -42,6 +46,7 @@ class Cluster {
   Master& master() { return master_; }
   const ClusterConfig& config() const { return config_; }
   const codec::Codec& codec() const { return *codec_; }
+  obs::Sink* sink() const { return config_.sink; }
 
   /// Cluster-wide traffic totals (sum over workers).
   std::size_t total_wire_bytes() const;

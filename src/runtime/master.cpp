@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/online.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace swallow::runtime {
 
@@ -14,11 +16,12 @@ std::size_t CoflowInfo::total_bytes() const {
 }
 
 Master::Master(common::Bps nic_rate, codec::CodecModel codec,
-               double cpu_headroom, bool compression)
+               double cpu_headroom, bool compression, obs::Sink* sink)
     : nic_rate_(nic_rate),
       codec_(std::move(codec)),
       cpu_headroom_(cpu_headroom),
-      compression_(compression) {
+      compression_(compression),
+      sink_(sink) {
   if (nic_rate <= 0) throw std::invalid_argument("Master: non-positive NIC rate");
 }
 
@@ -40,6 +43,7 @@ void Master::remove(CoflowRef ref) {
 }
 
 SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
+  obs::ProfileScope scope(sink_, "master.scheduling", "runtime");
   std::lock_guard<std::mutex> lock(mutex_);
   SchedResult result;
 
@@ -74,8 +78,27 @@ SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
                : 0.0;
       gamma = std::max(gamma, compress_time + volume / nic_rate_);
       result.decisions[f.flow_id] = FlowDecision{beta, nic_rate_};
+      if (sink_ != nullptr)
+        obs::emit_instant(sink_, obs::wall_now_us(), "beta_decision",
+                          "runtime",
+                          obs::Args()
+                              .add("flow", f.flow_id)
+                              .add("coflow", ref)
+                              .add("beta", beta)
+                              .str(),
+                          obs::kWallPid, obs::current_thread_tid());
     }
     scored.push_back({ref, gamma / entry.priority});
+    if (sink_ != nullptr)
+      obs::emit_instant(sink_, obs::wall_now_us(), "coflow_estimate",
+                        "runtime",
+                        obs::Args()
+                            .add("coflow", ref)
+                            .add("gamma", gamma)
+                            .add("priority", entry.priority)
+                            .add("key", gamma / entry.priority)
+                            .str(),
+                        obs::kWallPid, obs::current_thread_tid());
   }
 
   std::stable_sort(scored.begin(), scored.end(),

@@ -38,9 +38,10 @@ class Master {
  public:
   /// `nic_rate` is the per-worker NIC speed (the B of Eq. 3); `codec` the
   /// model whose (R, xi) gate compression; `cpu_headroom` the assumed idle
-  /// CPU share; `compression` mirrors swallow.smartCompress.
+  /// CPU share; `compression` mirrors swallow.smartCompress. `sink`
+  /// (optional) receives per-decision trace events and profiling data.
   Master(common::Bps nic_rate, codec::CodecModel codec, double cpu_headroom,
-         bool compression);
+         bool compression, obs::Sink* sink = nullptr);
 
   CoflowRef add(CoflowInfo info);
   void remove(CoflowRef ref);
@@ -73,6 +74,7 @@ class Master {
   codec::CodecModel codec_;
   double cpu_headroom_;
   bool compression_;
+  obs::Sink* sink_;
   CoflowRef next_ref_ = 1;
   std::map<CoflowRef, Entry> coflows_;
   std::map<CoflowRef, std::uint64_t> ranks_;

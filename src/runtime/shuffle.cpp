@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace swallow::runtime {
 
 namespace {
@@ -60,6 +62,7 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   std::mutex checksum_mutex;
 
   {
+    obs::ProfileScope stage(cluster.sink(), "shuffle.map", "runtime");
     std::vector<std::jthread> map_tasks;
     map_tasks.reserve(config.mappers);
     for (std::size_t m = 0; m < config.mappers; ++m) {
@@ -104,6 +107,7 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   std::mutex reduce_mutex;
   std::vector<codec::Buffer> outputs(config.reducers);
   {
+    obs::ProfileScope stage(cluster.sink(), "shuffle.transfer", "runtime");
     std::vector<std::jthread> tasks;
     tasks.reserve(config.mappers + config.reducers);
     for (std::size_t m = 0; m < config.mappers; ++m) {
@@ -155,6 +159,7 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   // paper's "save output as Hadoop files"). Its traffic rides the same
   // compression decision machinery as the shuffle. ----
   if (config.result_replicas > 0) {
+    obs::ProfileScope stage(cluster.sink(), "shuffle.result", "runtime");
     const auto result_start = Clock::now();
     auto result_block = [&](std::size_t r, std::size_t k) {
       return static_cast<BlockId>(base + 500'000 + r * 100 + k);

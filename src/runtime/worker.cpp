@@ -1,13 +1,23 @@
 #include "runtime/worker.hpp"
 
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
 namespace swallow::runtime {
 
 void PortGate::acquire(std::uint64_t rank) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto it = waiters_.insert(rank);
-  cv_.wait(lock, [&] { return !busy_ && waiters_.begin() == it; });
-  waiters_.erase(it);
-  busy_ = true;
+  const double t0 = sink_ != nullptr ? obs::wall_now_us() : 0.0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = waiters_.insert(rank);
+    cv_.wait(lock, [&] { return !busy_ && waiters_.begin() == it; });
+    waiters_.erase(it);
+    busy_ = true;
+  }
+  if (sink_ != nullptr)
+    sink_->registry()
+        .histogram("runtime.gate_wait_us")
+        .record(obs::wall_now_us() - t0);
 }
 
 void PortGate::release() {
@@ -18,8 +28,10 @@ void PortGate::release() {
   cv_.notify_all();
 }
 
-Worker::Worker(WorkerId id, common::Bps nic_rate)
-    : id_(id), egress_(nic_rate), ingress_(nic_rate) {}
+Worker::Worker(WorkerId id, common::Bps nic_rate, obs::Sink* sink)
+    : id_(id), sink_(sink), egress_(nic_rate), ingress_(nic_rate) {
+  egress_gate_.set_sink(sink);
+}
 
 void Worker::register_flow(const FlowInfo& info) {
   std::lock_guard<std::mutex> lock(reg_mutex_);
@@ -36,6 +48,11 @@ std::vector<FlowInfo> Worker::drain_registrations() {
 void Worker::account_transfer(std::size_t raw_bytes, std::size_t wire_bytes) {
   raw_bytes_.fetch_add(raw_bytes);
   wire_bytes_.fetch_add(wire_bytes);
+  if (sink_ != nullptr) {
+    obs::Registry& reg = sink_->registry();
+    reg.counter("runtime.raw_bytes").add(raw_bytes);
+    reg.counter("runtime.wire_bytes").add(wire_bytes);
+  }
 }
 
 }  // namespace swallow::runtime

@@ -14,6 +14,10 @@
 #include "runtime/block_store.hpp"
 #include "runtime/rate_limiter.hpp"
 
+namespace swallow::obs {
+class Sink;
+}
+
 namespace swallow::runtime {
 
 using WorkerId = std::uint32_t;
@@ -36,17 +40,21 @@ class PortGate {
  public:
   void acquire(std::uint64_t rank);
   void release();
+  /// Records per-acquire wait times into the sink's
+  /// "runtime.gate_wait_us" histogram; null disables.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
   bool busy_ = false;
   std::multiset<std::uint64_t> waiters_;
+  obs::Sink* sink_ = nullptr;
 };
 
 class Worker {
  public:
-  Worker(WorkerId id, common::Bps nic_rate);
+  Worker(WorkerId id, common::Bps nic_rate, obs::Sink* sink = nullptr);
 
   WorkerId id() const { return id_; }
   BlockStore& store() { return store_; }
@@ -65,6 +73,7 @@ class Worker {
 
  private:
   WorkerId id_;
+  obs::Sink* sink_;
   BlockStore store_;
   RateLimiter egress_;
   RateLimiter ingress_;

@@ -17,6 +17,10 @@
 #include "fabric/coflow.hpp"
 #include "fabric/fabric.hpp"
 
+namespace swallow::obs {
+class Sink;
+}
+
 namespace swallow::sched {
 
 struct SchedContext {
@@ -34,6 +38,10 @@ struct SchedContext {
   /// (the paper's Pseudocode 3 upgrades priority classes only then; flow
   /// completions and compression-finished events reschedule without aging).
   bool coflow_event = true;
+  /// Observability sink for per-decision trace events (Γ_C, priority
+  /// classes, β switches, starvation promotions). Null disables tracing at
+  /// the cost of one branch per site.
+  obs::Sink* sink = nullptr;
 };
 
 class Scheduler {

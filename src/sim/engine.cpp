@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace swallow::sim {
 
@@ -101,6 +105,75 @@ Metrics run_simulation(const workload::Trace& trace,
   bool need_schedule = true;
   bool coflow_event = true;  // arrival/coflow-completion since last schedule
   int stalled = 0;
+  obs::Sink* const sink = config.sink;
+  // Cold, out-of-line trace emitters: the Args machinery stays off the
+  // slice/round hot paths, which see only a null test when no sink is set.
+  struct ColdEmit {
+    [[gnu::noinline, gnu::cold]] static void flow_complete(
+        obs::Sink* sink, common::Seconds when, std::int64_t flow,
+        std::int64_t coflow, common::Seconds fct) {
+      obs::emit_instant(sink, obs::sim_ts(when), "flow_complete", "sim",
+                        obs::Args()
+                            .add("flow", flow)
+                            .add("coflow", coflow)
+                            .add("fct", fct)
+                            .str());
+    }
+    [[gnu::noinline, gnu::cold]] static void coflow_complete(
+        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+        common::Seconds cct) {
+      obs::emit_instant(sink, obs::sim_ts(when), "coflow_complete", "sim",
+                        obs::Args()
+                            .add("coflow", coflow)
+                            .add("cct", cct)
+                            .str());
+      sink->registry().counter("sim.coflows_completed").add();
+    }
+    [[gnu::noinline, gnu::cold]] static void coflow_arrival(
+        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+        std::int64_t width) {
+      obs::emit_instant(sink, obs::sim_ts(when), "coflow_arrival", "sim",
+                        obs::Args()
+                            .add("coflow", coflow)
+                            .add("width", width)
+                            .str());
+      sink->registry().counter("sim.coflows_arrived").add();
+    }
+    [[gnu::noinline, gnu::cold]] static void schedule_round(
+        obs::Sink* sink, common::Seconds now, std::uint64_t round,
+        const std::string& scheduler, std::int64_t coflows,
+        std::int64_t flows) {
+      obs::emit_instant(sink, obs::sim_ts(now), "schedule_round", "sim",
+                        obs::Args()
+                            .add("round", round)
+                            .add("scheduler", scheduler)
+                            .add("coflows", coflows)
+                            .add("flows", flows)
+                            .str());
+    }
+    [[gnu::noinline, gnu::cold]] static void preemption(obs::Sink* sink,
+                                                        common::Seconds now,
+                                                        std::int64_t flow,
+                                                        std::int64_t coflow) {
+      obs::emit_instant(sink, obs::sim_ts(now), "preemption", "sim",
+                        obs::Args()
+                            .add("flow", flow)
+                            .add("coflow", coflow)
+                            .str());
+    }
+    [[gnu::noinline, gnu::cold]] static void compression_done(
+        obs::Sink* sink, common::Seconds now, std::int64_t flow,
+        std::int64_t coflow, common::Bytes compressed) {
+      obs::emit_instant(sink, obs::sim_ts(now), "compression_done", "sim",
+                        obs::Args()
+                            .add("flow", flow)
+                            .add("coflow", coflow)
+                            .add("compressed_bytes", compressed)
+                            .str());
+    }
+  };
+  std::uint64_t round = 0;   // scheduling rounds, for trace correlation
+  std::uint64_t slices = 0;  // advanced slices, reported via the registry
 
   // Marks a flow finished at `when`, updating its coflow when it was the
   // last one out.
@@ -121,6 +194,9 @@ Metrics run_simulation(const workload::Trace& trace,
     f.compressed_pending = 0;
     f.completion = when;
     need_schedule = true;
+    if (sink != nullptr) [[unlikely]]
+      ColdEmit::flow_complete(sink, when, std::int64_t(f.id),
+                              std::int64_t(sc.trace_id), when - f.arrival);
     if (--sc.unfinished == 0) {
       sc.state.completion = when;
       for (const fabric::FlowId other : sc.state.flows)
@@ -128,6 +204,10 @@ Metrics run_simulation(const workload::Trace& trace,
             std::max(sc.state.completion, flows[other].completion);
       ++completed;
       coflow_event = true;
+      if (sink != nullptr) [[unlikely]]
+        ColdEmit::coflow_complete(sink, sc.state.completion,
+                                  std::int64_t(sc.trace_id),
+                                  sc.state.completion - sc.state.arrival);
     }
   };
 
@@ -138,6 +218,7 @@ Metrics run_simulation(const workload::Trace& trace,
     ctx.now = t;
     ctx.slice = config.slice;
     ctx.codec = config.codec;
+    ctx.sink = sink;
     for (const std::size_t ci : active) {
       ctx.coflows.push_back(&coflows[ci].state);
       for (const fabric::FlowId fid : coflows[ci].state.flows)
@@ -153,6 +234,12 @@ Metrics run_simulation(const workload::Trace& trace,
     while (next_arrival < arrival_order.size() &&
            coflows[arrival_order[next_arrival]].state.arrival <= t + kTiny) {
       active.push_back(arrival_order[next_arrival]);
+      if (sink != nullptr) [[unlikely]] {
+        const SimCoflow& sc = coflows[arrival_order[next_arrival]];
+        ColdEmit::coflow_arrival(sink, sc.state.arrival,
+                                 std::int64_t(sc.trace_id),
+                                 std::int64_t(sc.state.flows.size()));
+      }
       ++next_arrival;
       need_schedule = true;
       coflow_event = true;
@@ -167,19 +254,40 @@ Metrics run_simulation(const workload::Trace& trace,
     if (need_schedule) {
       sched::SchedContext ctx = build_context();
       ctx.coflow_event = coflow_event;
-      const fabric::Allocation alloc = sched.schedule(ctx);
+      if (sink != nullptr) [[unlikely]]
+        ColdEmit::schedule_round(sink, t, round, sched.name(),
+                                 std::int64_t(ctx.coflows.size()),
+                                 std::int64_t(ctx.flows.size()));
+      fabric::Allocation alloc;
+      {
+        obs::ProfileScope scope(sink, "sim.schedule");
+        alloc = sched.schedule(ctx);
+      }
       if (config.validate_allocations && !feasible(alloc, ctx.flows, fabric))
         throw SimError("sim: scheduler " + sched.name() +
                        " violated port capacities");
       for (const fabric::Flow* f : ctx.flows) {
-        rate[f->id] = alloc.rate(f->id);
+        const double new_rate = alloc.rate(f->id);
+        // A flow that loses its bandwidth mid-life (without switching to
+        // compression) was preempted by a shorter coflow.
+        if (sink != nullptr && rate[f->id] > kTiny && new_rate <= kTiny &&
+            !alloc.compress(f->id)) [[unlikely]]
+          ColdEmit::preemption(sink, t, std::int64_t(f->id),
+                               std::int64_t(coflows[f->coflow].trace_id));
+        rate[f->id] = new_rate;
         compress[f->id] = alloc.compress(f->id) ? 1 : 0;
       }
       need_schedule = false;
       coflow_event = false;
+      ++round;
+      if (sink != nullptr)
+        sink->registry().counter("sim.schedule_rounds").add();
     }
 
     // ---- Advance one slice. ----
+    // Histogram-only profile: per-slice B/E pairs would swamp the trace.
+    obs::ProfileScope advance_scope(sink, "sim.advance", "prof",
+                                    /*emit_events=*/false);
     double progress = 0.0;
     for (const std::size_t ci : active) {
       SimCoflow& sc = coflows[ci];
@@ -201,6 +309,10 @@ Metrics run_simulation(const workload::Trace& trace,
             if (f.raw_remaining <= fabric::kVolumeEpsilon) {
               f.raw_remaining = 0;
               need_schedule = true;  // compression finished: hand out a rate
+              if (sink != nullptr) [[unlikely]]
+                ColdEmit::compression_done(sink, t, std::int64_t(f.id),
+                                           std::int64_t(sc.trace_id),
+                                           f.compressed_pending);
               // Degenerate codec (ratio ~ 0) may remove the whole volume.
               if (f.done()) finalize_flow(f, sc, t + consumed / r_eff);
             }
@@ -259,7 +371,13 @@ Metrics run_simulation(const workload::Trace& trace,
     }
 
     t += config.slice;
+    ++slices;
     maybe_sample(t);
+  }
+
+  if (sink != nullptr) {
+    sink->registry().gauge("sim.slices").set(static_cast<double>(slices));
+    sink->registry().gauge("sim.sim_time_s").set(t);
   }
 
   // ---- Emit records. ----

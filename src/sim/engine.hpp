@@ -21,6 +21,10 @@
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
 
+namespace swallow::obs {
+class Sink;
+}
+
 namespace swallow::sim {
 
 struct SimConfig {
@@ -45,6 +49,12 @@ struct SimConfig {
   /// whole slice it finishes in ("waste of time slices", Section VI-A1).
   /// Fig. 7(c) is reproduced with this on; default off for exact metrics.
   bool quantize_completions = false;
+  /// Observability sink (obs::Tracer or custom). When set, the engine
+  /// emits arrival/completion/preemption/scheduling-round trace events and
+  /// wall-clock profiles of the schedule/advance phases, and the scheduler
+  /// sees it via SchedContext::sink. Null (the default) keeps the hot path
+  /// untouched apart from one predictable branch per site.
+  obs::Sink* sink = nullptr;
 };
 
 /// Thrown when a scheduler makes no progress or violates capacities.

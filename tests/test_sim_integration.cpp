@@ -4,6 +4,7 @@
 // about (1 - xi), and the priority upgrade prevents starvation.
 #include <gtest/gtest.h>
 
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 
 namespace swallow::sim {
@@ -117,6 +118,41 @@ TEST_F(SimIntegration, EverySchedulerCompletesEveryFlow) {
       EXPECT_GE(f.fct(), -1e-9) << name;
     }
   }
+}
+
+TEST_F(SimIntegration, TracerObservesExactlyWhatMetricsRecord) {
+  // The tracer rides along the same code paths Metrics does; its lifecycle
+  // event counts must agree exactly — no phantom or missing events.
+  obs::Tracer tracer;
+  const fabric::Fabric fabric(10, mbps(100));
+  auto sched = make_scheduler("FVDF");
+  SimConfig config;
+  config.codec = &codec::default_codec_model();
+  config.sink = &tracer;
+  const Metrics m = run_simulation(trace_, fabric, cpu_, *sched, config);
+
+  std::size_t arrivals = 0, coflow_completions = 0, flow_completions = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.name == "coflow_arrival") ++arrivals;
+    if (ev.name == "coflow_complete") ++coflow_completions;
+    if (ev.name == "flow_complete") ++flow_completions;
+  }
+  EXPECT_EQ(arrivals, m.coflows.size());
+  EXPECT_EQ(coflow_completions, m.coflows.size());
+  EXPECT_EQ(flow_completions, m.flows.size());
+  EXPECT_EQ(tracer.registry().counter("sim.coflows_arrived").value(),
+            m.coflows.size());
+  EXPECT_EQ(tracer.registry().counter("sim.coflows_completed").value(),
+            m.coflows.size());
+
+  // An identical run with no sink attached must produce identical results:
+  // instrumentation is observation, never perturbation.
+  auto sched2 = make_scheduler("FVDF");
+  SimConfig quiet = config;
+  quiet.sink = nullptr;
+  const Metrics m2 = run_simulation(trace_, fabric, cpu_, *sched2, quiet);
+  EXPECT_DOUBLE_EQ(m.avg_cct(), m2.avg_cct());
+  EXPECT_DOUBLE_EQ(m.traffic_reduction(), m2.traffic_reduction());
 }
 
 TEST(Starvation, UpgradeBoundsLargeCoflowWait) {

@@ -1,0 +1,194 @@
+// Golden-file style validation of the Chrome trace_event export: run a real
+// FVDF simulation with a Tracer attached, write the trace, and assert the
+// output is well-formed JSON with monotonically ordered timestamps, matched
+// B/E pairs per (pid, tid) track, and the scheduler-decision events the
+// observability layer promises (Γ_C estimates, β decisions, arrivals,
+// completions) for every scheduling round.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "sim/experiment.hpp"
+
+namespace swallow {
+namespace {
+
+workload::Trace tiny_trace() {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 6;
+  gen.num_coflows = 10;
+  gen.mean_interarrival = 0.5;
+  gen.size_lo = 1e6;
+  gen.size_hi = 1e8;
+  gen.size_alpha = 0.3;
+  gen.width_lo = 1;
+  gen.width_hi = 3;
+  gen.seed = 7;
+  return workload::generate_trace(gen);
+}
+
+class TraceExport : public ::testing::Test {
+ protected:
+  TraceExport() : trace_(tiny_trace()), cpu_(0.9) {
+    const fabric::Fabric fabric(trace_.num_ports, common::mbps(100));
+    auto sched = sim::make_scheduler("FVDF");
+    sim::SimConfig config;
+    config.codec = &codec::default_codec_model();
+    config.sink = &tracer_;
+    metrics_ = sim::run_simulation(trace_, fabric, cpu_, *sched, config);
+
+    std::ostringstream oss;
+    tracer_.write_chrome_trace(oss);
+    doc_ = obs::parse_json(oss.str());
+  }
+
+  // Events of a given name, each as a pointer into doc_.
+  std::vector<const obs::JsonValue*> events_named(const std::string& name) {
+    std::vector<const obs::JsonValue*> out;
+    for (const obs::JsonValue& ev : doc_.find("traceEvents")->array)
+      if (const obs::JsonValue* n = ev.find("name"); n && n->string == name)
+        out.push_back(&ev);
+    return out;
+  }
+
+  workload::Trace trace_;
+  cpu::ConstantCpu cpu_;
+  obs::Tracer tracer_;
+  sim::Metrics metrics_;
+  obs::JsonValue doc_;
+};
+
+TEST_F(TraceExport, WellFormedChromeTraceEnvelope) {
+  ASSERT_TRUE(doc_.is_object());
+  const obs::JsonValue* events = doc_.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->array.size(), 10u);
+  EXPECT_EQ(tracer_.dropped(), 0u);
+
+  // Every event carries the mandatory trace_event fields.
+  for (const obs::JsonValue& ev : events->array) {
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_NE(ev.find("name"), nullptr);
+    EXPECT_NE(ev.find("ph"), nullptr);
+    EXPECT_NE(ev.find("ts"), nullptr);
+    EXPECT_NE(ev.find("pid"), nullptr);
+    EXPECT_NE(ev.find("tid"), nullptr);
+  }
+
+  // The two process_name metadata records label the sim/wall timelines.
+  std::set<std::string> process_names;
+  for (const obs::JsonValue* m : events_named("process_name"))
+    process_names.insert(m->find("args")->find("name")->string);
+  EXPECT_TRUE(process_names.count("simulated-time"));
+  EXPECT_TRUE(process_names.count("wall-clock"));
+}
+
+TEST_F(TraceExport, TimestampsMonotonicallyOrdered) {
+  double prev = -1.0;
+  for (const obs::JsonValue& ev : doc_.find("traceEvents")->array) {
+    if (ev.find("ph")->string == "M") continue;  // metadata pins ts=0
+    const double ts = ev.find("ts")->number;
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST_F(TraceExport, DurationEventsFormMatchedPairs) {
+  // Per-(pid, tid) track, 'B' and 'E' must nest like parentheses with
+  // matching names — this is what makes the trace loadable in Perfetto.
+  std::map<std::pair<double, double>, std::vector<std::string>> stacks;
+  int pairs = 0;
+  for (const obs::JsonValue& ev : doc_.find("traceEvents")->array) {
+    const std::string& ph = ev.find("ph")->string;
+    if (ph != "B" && ph != "E") continue;
+    auto& stack = stacks[{ev.find("pid")->number, ev.find("tid")->number}];
+    if (ph == "B") {
+      stack.push_back(ev.find("name")->string);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "'E' without opening 'B'";
+      EXPECT_EQ(stack.back(), ev.find("name")->string);
+      stack.pop_back();
+      ++pairs;
+    }
+  }
+  for (const auto& [track, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed 'B' on tid " << track.second;
+  EXPECT_GT(pairs, 0);  // sim.schedule / fvdf.allocate scopes fired
+}
+
+TEST_F(TraceExport, SchedulerDecisionEventsCoverEveryRound) {
+  // Each scheduling round that saw live coflows must log Γ_C (gamma),
+  // priority, the effective key, and per-flow β decisions at that instant.
+  std::set<double> estimate_ts, beta_ts;
+  for (const obs::JsonValue* ev : events_named("coflow_estimate")) {
+    const obs::JsonValue* args = ev->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->find("gamma"), nullptr);
+    EXPECT_NE(args->find("priority"), nullptr);
+    EXPECT_NE(args->find("key"), nullptr);
+    estimate_ts.insert(ev->find("ts")->number);
+  }
+  for (const obs::JsonValue* ev : events_named("beta_decision")) {
+    EXPECT_NE(ev->find("args")->find("beta"), nullptr);
+    beta_ts.insert(ev->find("ts")->number);
+  }
+  EXPECT_FALSE(estimate_ts.empty());
+  EXPECT_FALSE(beta_ts.empty());
+
+  int covered_rounds = 0;
+  for (const obs::JsonValue* ev : events_named("schedule_round")) {
+    if (ev->find("args")->find("coflows")->number < 1) continue;
+    const double ts = ev->find("ts")->number;
+    EXPECT_TRUE(estimate_ts.count(ts)) << "round at ts " << ts;
+    EXPECT_TRUE(beta_ts.count(ts)) << "round at ts " << ts;
+    ++covered_rounds;
+  }
+  EXPECT_GT(covered_rounds, 0);
+}
+
+TEST_F(TraceExport, LifecycleEventsMatchSimulationOutcome) {
+  EXPECT_EQ(events_named("coflow_arrival").size(), trace_.coflows.size());
+  EXPECT_EQ(events_named("coflow_complete").size(), metrics_.coflows.size());
+  EXPECT_EQ(events_named("flow_complete").size(), metrics_.flows.size());
+
+  // Completion instants carry the CCT the metrics recorded.
+  for (const obs::JsonValue* ev : events_named("coflow_complete"))
+    EXPECT_GT(ev->find("args")->find("cct")->number, 0.0);
+}
+
+TEST_F(TraceExport, RegistryAgreesWithTraceEvents) {
+  obs::Registry& reg = tracer_.registry();
+  EXPECT_EQ(reg.counter("sim.coflows_arrived").value(), trace_.coflows.size());
+  EXPECT_EQ(reg.counter("sim.coflows_completed").value(),
+            metrics_.coflows.size());
+  EXPECT_EQ(reg.counter("sim.schedule_rounds").value(),
+            events_named("schedule_round").size());
+  // Profiling histograms captured the schedule and advance phases.
+  EXPECT_GT(reg.histogram("prof.sim.schedule").count(), 0u);
+  EXPECT_GT(reg.histogram("prof.sim.advance").count(), 0u);
+  EXPECT_GT(reg.histogram("prof.fvdf.allocate").count(), 0u);
+}
+
+TEST_F(TraceExport, JsonlExportParsesLineByLine) {
+  std::ostringstream oss;
+  tracer_.write_jsonl(oss);
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(iss, line)) {
+    const obs::JsonValue ev = obs::parse_json(line);
+    ASSERT_TRUE(ev.is_object());
+    ++lines;
+  }
+  EXPECT_EQ(lines, tracer_.size());
+}
+
+}  // namespace
+}  // namespace swallow
