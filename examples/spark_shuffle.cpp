@@ -33,6 +33,19 @@ int main(int argc, char** argv) {
   config.codec_model = codec::CodecModel{"swlz", 500.0 * common::kMB,
                                          1500.0 * common::kMB, 0.45};
   config.sink = tracer.get();
+  // --fault-rate injects drops/corruptions/stalls/codec failures on every
+  // block with that probability; --fault-seed picks the (deterministic)
+  // fault pattern. The shuffle below then exercises the retry/retransmit
+  // machinery and still verifies every payload.
+  const double fault_rate = flags.get_double("fault-rate", 0.0);
+  if (fault_rate > 0) {
+    config.fault.enabled = true;
+    config.fault.set_uniform_rate(fault_rate);
+    config.fault.stall_duration = 0.02;
+    config.fault.seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+    config.retry.pull_timeout = 0.25;
+  }
   Cluster cluster(config);
   SwallowContext sc(cluster);  // "val sc = new SwallowContext()"
 
@@ -78,7 +91,11 @@ int main(int argc, char** argv) {
       for (WorkerId reducer : {2u, 3u}) {
         tasks.emplace_back([&sc, coflow_ref, flow, mapper, reducer,
                             payload = partitions[index]] {
-          sc.push(coflow_ref, flow, payload, mapper, reducer);
+          try {
+            sc.push(coflow_ref, flow, payload, mapper, reducer);
+          } catch (const ShuffleError& e) {
+            std::cout << "push failed: " << e.what() << '\n';
+          }
         });
         ++flow;
         ++index;
@@ -90,9 +107,13 @@ int main(int argc, char** argv) {
         for (RtFlowId flow = 1; flow <= 4; ++flow) {
           const bool mine = (flow % 2 == 1) == (reducer == 2);
           if (!mine) continue;
-          const codec::Buffer data = sc.pull(coflow_ref, flow, reducer);
-          std::cout << "reducer on worker " << reducer << " pulled block "
-                    << flow << " (" << data.size() << " bytes)\n";
+          try {
+            const codec::Buffer data = sc.pull(coflow_ref, flow, reducer);
+            std::cout << "reducer on worker " << reducer << " pulled block "
+                      << flow << " (" << data.size() << " bytes)\n";
+          } catch (const ShuffleError& e) {
+            std::cout << "pull failed: " << e.what() << '\n';
+          }
         }
       });
     }
@@ -108,6 +129,17 @@ int main(int argc, char** argv) {
             << common::fmt_percent(1.0 - static_cast<double>(wire) /
                                              static_cast<double>(raw))
             << " traffic reduction)\n";
+  if (fault_rate > 0) {
+    const FaultStats stats = cluster.fault_stats();
+    std::cout << "faults injected: " << stats.total_injected()
+              << " (drops " << stats.injected_drops << ", corruptions "
+              << stats.injected_corruptions << ", stalls "
+              << stats.injected_stalls << ", codec "
+              << stats.injected_codec_failures << "); recovery: "
+              << stats.retries << " retries, " << stats.retransmits
+              << " retransmits, " << stats.degraded_flows
+              << " degraded flows\n";
+  }
   obs::set_global_sink(nullptr);
   if (tracer != nullptr && obs::write_trace_from_flags(flags, *tracer))
     std::cout << "trace: " << tracer->size() << " events -> "

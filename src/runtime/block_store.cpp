@@ -1,7 +1,8 @@
 #include "runtime/block_store.hpp"
 
-#include <ctime>
+#include <chrono>
 #include <cstring>
+#include <ctime>
 
 namespace swallow::runtime {
 
@@ -28,6 +29,20 @@ codec::Buffer BlockStore::take(BlockKey key) {
   return data;
 }
 
+std::optional<codec::Buffer> BlockStore::take_for(BlockKey key,
+                                                  common::Seconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool arrived =
+      cv_.wait_for(lock, std::chrono::duration<double>(timeout),
+                   [&] { return blocks_.count(key) > 0; });
+  if (!arrived) return std::nullopt;
+  auto it = blocks_.find(key);
+  codec::Buffer data = std::move(it->second);
+  resident_bytes_ -= data.size();
+  blocks_.erase(it);
+  return data;
+}
+
 std::size_t BlockStore::drop_coflow(CoflowRef coflow) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t freed = 0;
@@ -37,6 +52,14 @@ std::size_t BlockStore::drop_coflow(CoflowRef coflow) {
     it = blocks_.erase(it);
   }
   resident_bytes_ -= freed;
+  return freed;
+}
+
+std::size_t BlockStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t freed = resident_bytes_;
+  blocks_.clear();
+  resident_bytes_ = 0;
   return freed;
 }
 

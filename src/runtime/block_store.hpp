@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,16 @@ class BlockStore {
   /// Blocks until the block exists, then removes and returns it.
   codec::Buffer take(BlockKey key);
 
+  /// Bounded take: waits at most `timeout` seconds for the block. nullopt
+  /// means the deadline expired — the caller's cue to retry, retransmit,
+  /// or surface a typed error instead of hanging (recovery path).
+  std::optional<codec::Buffer> take_for(BlockKey key, common::Seconds timeout);
+
   /// Removes every block of a coflow (remove() path); returns bytes freed.
   std::size_t drop_coflow(CoflowRef coflow);
+
+  /// Drops every block (worker-kill path); returns bytes freed.
+  std::size_t clear();
 
   std::size_t block_count() const;
   std::size_t resident_bytes() const;

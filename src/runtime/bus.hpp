@@ -3,6 +3,7 @@
 // implementation; see DESIGN.md's substitution table.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -29,6 +30,22 @@ class Channel {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Bounded receive: waits at most `timeout` for a value. nullopt means
+  /// the timeout expired or the channel is closed-and-drained (disambiguate
+  /// with closed() if it matters). The runtime prefers this over receive()
+  /// so a lost message can never wedge a thread forever.
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return !queue_.empty() || closed_; }))
+      return std::nullopt;  // timed out
+    if (queue_.empty()) return std::nullopt;  // closed and drained
     T value = std::move(queue_.front());
     queue_.pop_front();
     return value;

@@ -1,6 +1,8 @@
 #include "runtime/context.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "codec/frame.hpp"
 #include "codec/null_codec.hpp"
@@ -12,13 +14,18 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       codec_(codec::make_codec(config.codec)),
       master_(config.nic_rate, config.codec_model, config.cpu_headroom,
-              config.smart_compress, config.sink) {
+              config.smart_compress, config.sink, config.retry.degrade_after),
+      injector_(config.fault, &fault_counters_, config.sink) {
   if (config.num_workers == 0)
     throw std::invalid_argument("Cluster: zero workers");
+  fault_counters_.set_sink(config.sink);
   workers_.reserve(config.num_workers);
-  for (std::size_t i = 0; i < config.num_workers; ++i)
+  for (std::size_t i = 0; i < config.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(
         static_cast<WorkerId>(i), config.nic_rate, config.sink));
+    workers_.back()->egress_gate().set_holder_timeout(
+        config.retry.gate_holder_timeout);
+  }
 }
 
 Worker& Cluster::worker(WorkerId id) { return *workers_.at(id); }
@@ -33,6 +40,49 @@ std::size_t Cluster::total_raw_bytes() const {
   std::size_t total = 0;
   for (const auto& w : workers_) total += w->raw_bytes_sent();
   return total;
+}
+
+void Cluster::kill_worker(WorkerId id) {
+  if (id >= workers_.size()) return;
+  Worker& victim = *workers_[id];
+  if (victim.dead()) return;
+  std::size_t alive = 0;
+  for (const auto& w : workers_)
+    if (!w->dead()) ++alive;
+  if (alive <= 1) return;  // someone must survive to route around the dead
+  victim.mark_dead();
+  victim.store().clear();
+  fault_counters_.on_injected(FaultKind::kWorkerKill);
+  if (config_.sink != nullptr) {
+    config_.sink->registry().counter("runtime.worker_kills").add(1);
+    obs::emit_instant(config_.sink, obs::wall_now_us(), "fault.worker_kill",
+                      "fault",
+                      obs::Args()
+                          .add("worker", static_cast<std::uint64_t>(id))
+                          .str(),
+                      obs::kWallPid, obs::current_thread_tid());
+  }
+}
+
+bool Cluster::worker_dead(WorkerId id) const {
+  return id < workers_.size() && workers_[id]->dead();
+}
+
+WorkerId Cluster::effective_worker(WorkerId id) const {
+  const auto n = static_cast<WorkerId>(workers_.size());
+  for (WorkerId k = 0; k < n; ++k) {
+    const WorkerId candidate = static_cast<WorkerId>((id + k) % n);
+    if (!workers_[candidate]->dead()) return candidate;
+  }
+  return id;  // unreachable: kill_worker never kills the last survivor
+}
+
+FaultStats Cluster::fault_stats() const {
+  FaultStats stats = fault_counters_.snapshot();
+  for (const auto& w : workers_)
+    stats.gate_evictions += w->egress_gate().evictions();
+  stats.degraded_flows = master_.degraded_flows();
+  return stats;
 }
 
 std::vector<FlowInfo> SwallowContext::hook(WorkerId executor) {
@@ -53,6 +103,7 @@ void SwallowContext::remove(CoflowRef ref) {
   cluster_->master().remove(ref);
   for (WorkerId w = 0; w < cluster_->size(); ++w)
     cluster_->worker(w).store().drop_coflow(ref);
+  cluster_->retention().drop_coflow(ref);
 }
 
 SchedResult SwallowContext::scheduling(const std::vector<CoflowRef>& refs) {
@@ -63,22 +114,32 @@ void SwallowContext::alloc(const SchedResult& result) {
   cluster_->master().alloc(result);
 }
 
-void SwallowContext::push(CoflowRef ref, BlockId block,
-                          std::span<const std::uint8_t> data, WorkerId src,
-                          WorkerId dst) {
-  Worker& sender = cluster_->worker(src);
-  Worker& receiver = cluster_->worker(dst);
+bool SwallowContext::transfer_once(CoflowRef ref, BlockId block,
+                                   std::span<const std::uint8_t> data,
+                                   WorkerId src, WorkerId dst, int attempt) {
+  FaultInjector& injector = cluster_->injector();
+  // Dead workers are routed around: a killed sender's retained blocks go
+  // out through a survivor, a killed receiver's partitions land on its
+  // replacement (where the re-pull finds them).
+  const WorkerId esrc = cluster_->effective_worker(src);
+  const WorkerId edst = cluster_->effective_worker(dst);
+  Worker& sender = cluster_->worker(esrc);
+  Worker& receiver = cluster_->worker(edst);
 
   // blockId encodes the flow: the master keyed its decision on it. Blocks
   // travel as checksummed frames (codec/frame.hpp), so wire corruption is
   // detected at pull time rather than silently reducing garbage.
-  obs::ProfileScope push_scope(cluster_->sink(), "runtime.push", "runtime");
   const FlowDecision decision = cluster_->master().decision_of(block);
   codec::Buffer wire;
   {
     obs::ProfileScope scope(cluster_->sink(), "runtime.push.compress",
                             "runtime");
     if (decision.compress) {
+      // Injected CPU-side failure: only a real compressor can crash; a
+      // degraded (uncompressed) flow is immune, which is what makes the
+      // degradation ladder terminate.
+      if (injector.inject(FaultKind::kCodecFail, block, attempt))
+        throw codec::CodecError("injected codec failure");
       wire = codec::frame_compress(cluster_->codec(), data);
     } else {
       const codec::NullCodec null;
@@ -90,33 +151,135 @@ void SwallowContext::push(CoflowRef ref, BlockId block,
   // what crossed the wire, which is what compression shrinks).
   wire.shrink_to_fit();
 
+  if (injector.inject(FaultKind::kCorrupt, block, attempt))
+    injector.corrupt(wire, block, attempt);
+
   {
     obs::ProfileScope scope(cluster_->sink(), "runtime.push.transfer",
                             "runtime");
     const std::uint64_t rank = cluster_->master().rank_of(ref);
-    sender.egress_gate().acquire(rank);
+    const PortGate::Ticket ticket = sender.egress_gate().acquire(rank);
     sender.egress().acquire(wire.size());
     receiver.ingress().acquire(wire.size());
-    sender.egress_gate().release();
+    sender.egress_gate().release(ticket);
   }
 
+  // Straggler: the frame crossed the NICs but dawdles before landing.
+  if (injector.inject(FaultKind::kStall, block, attempt))
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(injector.stall_duration()));
+
+  // The bytes crossed the (rate-limited) wire either way; loss happens
+  // past the NICs, so dropped and duplicate transfers still cost traffic.
   sender.account_transfer(data.size(), wire.size());
+
+  if (injector.inject(FaultKind::kDrop, block, attempt)) return false;
+
   receiver.store().put(BlockKey{ref, block}, std::move(wire));
+
+  // Configured kill point: a worker dies right after this delivery. When
+  // the victim is this sender and kill_holding_gate is set, it "crashes"
+  // while still holding its egress gate on a fresh acquire — the deadlock
+  // class the PortGate holder timeout exists to break.
+  if (injector.count_delivery_and_check_kill()) {
+    const FaultConfig& fc = injector.config();
+    if (fc.kill_holding_gate && cluster_->effective_worker(fc.kill_worker) ==
+                                    cluster_->effective_worker(esrc)) {
+      (void)sender.egress_gate().acquire(0);  // ticket abandoned on purpose
+      cluster_->kill_worker(fc.kill_worker);
+      return true;  // gate intentionally left busy; eviction recovers it
+    }
+    cluster_->kill_worker(fc.kill_worker);
+  }
+  return true;
+}
+
+bool SwallowContext::retransmit(CoflowRef ref, BlockId block, int attempt) {
+  const auto retained = cluster_->retention().lookup(BlockKey{ref, block});
+  if (!retained) return false;
+  cluster_->fault_counters().on_retransmit();
+  try {
+    transfer_once(ref, block, retained->raw, retained->src, retained->dst,
+                  attempt);
+  } catch (const codec::CodecError&) {
+    // Injected codec failure on the retransmit attempt: count it against
+    // the flow (degradation ladder) and let the caller's retry loop decide.
+    cluster_->master().record_flow_failure(block);
+  }
+  return true;
+}
+
+void SwallowContext::push(CoflowRef ref, BlockId block,
+                          std::span<const std::uint8_t> data, WorkerId src,
+                          WorkerId dst) {
+  obs::ProfileScope push_scope(cluster_->sink(), "runtime.push", "runtime");
+  const RetryPolicy& retry = cluster_->config().retry;
+  // Retain before the first attempt so even a sender crash mid-transfer
+  // leaves the bytes recoverable (only when faults can actually happen —
+  // the disabled path keeps zero copies).
+  if (cluster_->injector().enabled())
+    cluster_->retention().retain(BlockKey{ref, block}, src, dst, data);
+
+  common::Rng jitter_rng(cluster_->config().fault.seed ^ (block * 0x9e37ULL));
+  for (int attempt = 0;; ++attempt) {
+    try {
+      transfer_once(ref, block, data, src, dst, attempt);
+      return;  // delivered — or silently lost, which the pull side recovers
+    } catch (const codec::CodecError&) {
+      cluster_->master().record_flow_failure(block);
+      if (attempt + 1 >= retry.max_attempts)
+        throw ShuffleError(ShuffleFailure::kCodecFailure, ref, block, block);
+      cluster_->fault_counters().on_retry();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff_delay(retry, attempt + 1, jitter_rng)));
+    }
+  }
 }
 
 codec::Buffer SwallowContext::pull(CoflowRef ref, BlockId block, WorkerId dst,
                                    BufferPool* wire_reclaim) {
   obs::ProfileScope pull_scope(cluster_->sink(), "runtime.pull", "runtime");
-  codec::Buffer wire =
-      cluster_->worker(dst).store().take(BlockKey{ref, block});
-  codec::Buffer data;
-  {
-    obs::ProfileScope scope(cluster_->sink(), "runtime.pull.decompress",
-                            "runtime");
-    data = codec::frame_decompress(wire);
+  const RetryPolicy& retry = cluster_->config().retry;
+  common::Rng jitter_rng(cluster_->config().fault.seed ^
+                         (block * 0x85ebca6bULL));
+  for (int attempt = 0;; ++attempt) {
+    const WorkerId edst = cluster_->effective_worker(dst);
+    std::optional<codec::Buffer> wire =
+        cluster_->worker(edst).store().take_for(BlockKey{ref, block},
+                                                retry.pull_timeout);
+    if (!wire) {
+      cluster_->fault_counters().on_pull_timeout();
+      if (attempt + 1 >= retry.max_attempts)
+        throw ShuffleError(ShuffleFailure::kPullTimeout, ref, block, block);
+      cluster_->fault_counters().on_retry();
+      retransmit(ref, block, attempt + 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff_delay(retry, attempt + 1, jitter_rng)));
+      continue;
+    }
+
+    codec::Buffer data;
+    try {
+      obs::ProfileScope scope(cluster_->sink(), "runtime.pull.decompress",
+                              "runtime");
+      data = codec::frame_decompress(*wire);
+    } catch (const codec::CodecError&) {
+      // Wire corruption caught by the frame checksums: count it against
+      // the flow (the degradation ladder flips persistent offenders to
+      // uncompressed) and ask for a retransmit.
+      cluster_->fault_counters().on_corrupt_frame();
+      cluster_->master().record_flow_failure(block);
+      if (attempt + 1 >= retry.max_attempts)
+        throw ShuffleError(ShuffleFailure::kCorruption, ref, block, block);
+      cluster_->fault_counters().on_retry();
+      retransmit(ref, block, attempt + 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff_delay(retry, attempt + 1, jitter_rng)));
+      continue;
+    }
+    if (wire_reclaim != nullptr) wire_reclaim->release(std::move(*wire));
+    return data;
   }
-  if (wire_reclaim != nullptr) wire_reclaim->release(std::move(wire));
-  return data;
 }
 
 }  // namespace swallow::runtime

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/master.hpp"
 #include "runtime/worker.hpp"
 
@@ -35,6 +36,10 @@ struct ClusterConfig {
   /// paths (scheduling decisions, transfer counters, gate-wait and
   /// compress/transfer/decompress profiles). Null disables tracing.
   obs::Sink* sink = nullptr;
+  /// Fault model (disabled by default: the data path is then byte-identical
+  /// to a fault-free build) and the recovery knobs opposite it.
+  FaultConfig fault;
+  RetryPolicy retry;
 };
 
 class Cluster {
@@ -52,11 +57,31 @@ class Cluster {
   std::size_t total_wire_bytes() const;
   std::size_t total_raw_bytes() const;
 
+  // ---- Failure model & recovery (DESIGN.md §8) ----
+  FaultInjector& injector() { return injector_; }
+  FaultCounters& fault_counters() { return fault_counters_; }
+  RetentionStore& retention() { return retention_; }
+
+  /// Marks a worker dead and wipes its block store (its in-flight and
+  /// resident blocks are lost; retransmits land on the replacement).
+  /// The last live worker cannot be killed.
+  void kill_worker(WorkerId id);
+  bool worker_dead(WorkerId id) const;
+  /// `id` if alive, else the first surviving worker after it (wrap-around).
+  WorkerId effective_worker(WorkerId id) const;
+
+  /// Cluster-wide fault/recovery totals: injections + retries/retransmits
+  /// (context paths) + gate evictions (workers) + degraded flows (master).
+  FaultStats fault_stats() const;
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<codec::Codec> codec_;
   Master master_;
+  FaultCounters fault_counters_;
+  FaultInjector injector_;
+  RetentionStore retention_;
 };
 
 class SwallowContext {
@@ -74,11 +99,19 @@ class SwallowContext {
 
   /// Sender side: optionally compresses, waits for the coflow's turn on the
   /// source egress port, moves the bytes through both NIC limiters, and
-  /// lands the block in the destination's store. Blocking.
+  /// lands the block in the destination's store. Blocking. Injected codec
+  /// failures are retried with backoff (degrading the flow to uncompressed
+  /// past the RetryPolicy threshold); injected drops/stalls are invisible
+  /// to the sender — the pull side recovers them. Throws ShuffleError
+  /// (kCodecFailure) when the retry budget is exhausted.
   void push(CoflowRef ref, BlockId block, std::span<const std::uint8_t> data,
             WorkerId src, WorkerId dst);
 
-  /// Receiver side: blocks until the block arrives, decompresses if needed.
+  /// Receiver side: waits for the block (bounded by RetryPolicy's
+  /// per-attempt pull_timeout), decompresses if needed, and on timeout or
+  /// a corrupt frame requests a retransmit from the sender-side retention
+  /// store with exponential backoff. Throws ShuffleError (kPullTimeout /
+  /// kCorruption) when the retry budget is exhausted — never hangs.
   /// When `wire_reclaim` is given, the wire buffer (compressed when the
   /// master enabled compression) is released through it after decoding —
   /// the receiver-side reclamation that Table VIII's GC analog measures.
@@ -86,6 +119,15 @@ class SwallowContext {
                      BufferPool* wire_reclaim = nullptr);
 
  private:
+  /// One delivery attempt; returns true when the block reached the
+  /// receiver's store (false: injected drop or sender death mid-transfer).
+  /// Throws codec::CodecError on an injected codec failure.
+  bool transfer_once(CoflowRef ref, BlockId block,
+                     std::span<const std::uint8_t> data, WorkerId src,
+                     WorkerId dst, int attempt);
+  /// Re-push from the retention store; false when nothing was retained.
+  bool retransmit(CoflowRef ref, BlockId block, int attempt);
+
   Cluster* cluster_;
 };
 

@@ -1,0 +1,218 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace swallow::runtime {
+
+namespace {
+
+/// splitmix64-style avalanche of (seed, kind, block, attempt) into one
+/// 64-bit stream seed. Multiplicative constants are the splitmix64 ones.
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  std::uint64_t x = seed;
+  x ^= a * 0x9e3779b97f4a7c15ULL;
+  x ^= b * 0xbf58476d1ce4e5b9ULL;
+  x ^= c * 0x94d049bb133111ebULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCodecFail: return "codec_fail";
+    case FaultKind::kWorkerKill: return "worker_kill";
+  }
+  return "unknown";
+}
+
+common::Seconds backoff_delay(const RetryPolicy& retry, int attempt,
+                              common::Rng& rng) {
+  double delay = retry.base_backoff;
+  for (int i = 1; i < attempt; ++i) delay *= retry.backoff_multiplier;
+  delay = std::min(delay, retry.max_backoff);
+  return delay * (1.0 - retry.jitter * rng.uniform());
+}
+
+const char* shuffle_failure_name(ShuffleFailure kind) {
+  switch (kind) {
+    case ShuffleFailure::kVerification: return "verification";
+    case ShuffleFailure::kPullTimeout: return "pull_timeout";
+    case ShuffleFailure::kCorruption: return "corruption";
+    case ShuffleFailure::kCodecFailure: return "codec_failure";
+  }
+  return "unknown";
+}
+
+ShuffleError::ShuffleError(ShuffleFailure kind, CoflowRef coflow,
+                           RtFlowId flow, BlockId block)
+    : std::runtime_error(std::string("shuffle: ") +
+                         shuffle_failure_name(kind) + " (coflow " +
+                         std::to_string(coflow) + ", flow " +
+                         std::to_string(flow) + ", block " +
+                         std::to_string(block) + ")"),
+      kind_(kind),
+      coflow_(coflow),
+      flow_(flow),
+      block_(block) {}
+
+void FaultCounters::mirror(const char* name) const {
+  if (sink_ != nullptr) sink_->registry().counter(name).add(1);
+}
+
+void FaultCounters::on_injected(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: drops_.fetch_add(1); break;
+    case FaultKind::kCorrupt: corruptions_.fetch_add(1); break;
+    case FaultKind::kStall: stalls_.fetch_add(1); break;
+    case FaultKind::kCodecFail: codec_failures_.fetch_add(1); break;
+    case FaultKind::kWorkerKill: kills_.fetch_add(1); break;
+  }
+  mirror("runtime.faults_injected");
+}
+
+void FaultCounters::on_retry() {
+  retries_.fetch_add(1);
+  mirror("runtime.retries");
+}
+
+void FaultCounters::on_retransmit() {
+  retransmits_.fetch_add(1);
+  mirror("runtime.retransmits");
+}
+
+void FaultCounters::on_corrupt_frame() {
+  corrupt_frames_.fetch_add(1);
+  mirror("runtime.corrupt_frames");
+}
+
+void FaultCounters::on_pull_timeout() {
+  pull_timeouts_.fetch_add(1);
+  mirror("runtime.pull_timeouts");
+}
+
+FaultStats FaultCounters::snapshot() const {
+  FaultStats stats;
+  stats.injected_drops = drops_.load();
+  stats.injected_corruptions = corruptions_.load();
+  stats.injected_stalls = stalls_.load();
+  stats.injected_codec_failures = codec_failures_.load();
+  stats.worker_kills = kills_.load();
+  stats.retries = retries_.load();
+  stats.retransmits = retransmits_.load();
+  stats.corrupt_frames = corrupt_frames_.load();
+  stats.pull_timeouts = pull_timeouts_.load();
+  return stats;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config,
+                             FaultCounters* counters, obs::Sink* sink)
+    : config_(config), counters_(counters), sink_(sink) {}
+
+double FaultInjector::rate_of(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kDrop: return config_.drop_rate;
+    case FaultKind::kCorrupt: return config_.corrupt_rate;
+    case FaultKind::kStall: return config_.stall_rate;
+    case FaultKind::kCodecFail: return config_.codec_fail_rate;
+    case FaultKind::kWorkerKill: return 0;  // point-triggered, not a rate
+  }
+  return 0;
+}
+
+bool FaultInjector::fires(FaultKind kind, BlockId block, int attempt) const {
+  if (!config_.enabled) return false;
+  const double rate = rate_of(kind);
+  if (rate <= 0) return false;
+  common::Rng rng(mix64(config_.seed, static_cast<std::uint64_t>(kind) + 1,
+                        block, static_cast<std::uint64_t>(attempt)));
+  return rng.uniform() < rate;
+}
+
+bool FaultInjector::inject(FaultKind kind, BlockId block, int attempt) {
+  if (!fires(kind, block, attempt)) return false;
+  if (counters_ != nullptr) counters_->on_injected(kind);
+  if (sink_ != nullptr)
+    obs::emit_instant(sink_, obs::wall_now_us(),
+                      std::string("fault.") + fault_kind_name(kind), "fault",
+                      obs::Args()
+                          .add("block", block)
+                          .add("attempt", attempt)
+                          .str(),
+                      obs::kWallPid, obs::current_thread_tid());
+  return true;
+}
+
+void FaultInjector::corrupt(std::span<std::uint8_t> wire, BlockId block,
+                            int attempt) const {
+  // Frame layout: 4-byte magic, then codec id / sizes / checksums / payload.
+  // Flip one byte past the magic so decoding proceeds far enough to hit the
+  // per-block validation instead of dying on is_frame().
+  constexpr std::size_t kMagicBytes = 4;
+  if (wire.size() <= kMagicBytes) return;
+  const std::uint64_t h = mix64(config_.seed, 0x5bd1e995, block,
+                                static_cast<std::uint64_t>(attempt));
+  const std::size_t offset =
+      kMagicBytes + static_cast<std::size_t>(h % (wire.size() - kMagicBytes));
+  wire[offset] ^= 0xFF;
+}
+
+bool FaultInjector::count_delivery_and_check_kill() {
+  const std::size_t delivered = deliveries_.fetch_add(1) + 1;
+  if (!config_.enabled || !config_.kill_enabled) return false;
+  if (delivered < config_.kill_after_deliveries) return false;
+  if (kill_fired_.exchange(true)) return false;
+  return true;
+}
+
+void RetentionStore::retain(BlockKey key, WorkerId src, WorkerId dst,
+                            std::span<const std::uint8_t> raw) {
+  Retained entry{src, dst, codec::Buffer(raw.begin(), raw.end())};
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_[key] = std::move(entry);
+}
+
+std::optional<RetentionStore::Retained> RetentionStore::lookup(
+    BlockKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blocks_.find(key);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RetentionStore::drop_coflow(CoflowRef coflow) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t freed = 0;
+  for (auto it = blocks_.lower_bound({coflow, 0});
+       it != blocks_.end() && it->first.coflow == coflow;) {
+    freed += it->second.raw.size();
+    it = blocks_.erase(it);
+  }
+  return freed;
+}
+
+std::size_t RetentionStore::block_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+std::size_t RetentionStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, entry] : blocks_) total += entry.raw.size();
+  return total;
+}
+
+}  // namespace swallow::runtime

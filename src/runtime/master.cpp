@@ -16,12 +16,14 @@ std::size_t CoflowInfo::total_bytes() const {
 }
 
 Master::Master(common::Bps nic_rate, codec::CodecModel codec,
-               double cpu_headroom, bool compression, obs::Sink* sink)
+               double cpu_headroom, bool compression, obs::Sink* sink,
+               int degrade_after)
     : nic_rate_(nic_rate),
       codec_(std::move(codec)),
       cpu_headroom_(cpu_headroom),
       compression_(compression),
-      sink_(sink) {
+      sink_(sink),
+      degrade_after_(degrade_after) {
   if (nic_rate <= 0) throw std::invalid_argument("Master: non-positive NIC rate");
 }
 
@@ -29,6 +31,7 @@ CoflowRef Master::add(CoflowInfo info) {
   std::lock_guard<std::mutex> lock(mutex_);
   const CoflowRef ref = next_ref_++;
   info.ref = ref;
+  for (const auto& f : info.flows) flow_owner_[f.flow_id] = ref;
   coflows_[ref] = Entry{std::move(info), 1.0};
   return ref;
 }
@@ -37,7 +40,11 @@ void Master::remove(CoflowRef ref) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = coflows_.find(ref);
   if (it == coflows_.end()) return;
-  for (const auto& f : it->second.info.flows) decisions_.erase(f.flow_id);
+  for (const auto& f : it->second.info.flows) {
+    decisions_.erase(f.flow_id);
+    flow_owner_.erase(f.flow_id);
+    flow_failures_.erase(f.flow_id);
+  }
   coflows_.erase(it);
   ranks_.erase(ref);
 }
@@ -64,8 +71,11 @@ SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
 
     double gamma = 0;
     for (const auto& f : entry.info.flows) {
-      // Eq. 3 gate against the NIC bottleneck B.
-      const bool beta = compression_ && f.compressible &&
+      // Eq. 3 gate against the NIC bottleneck B. A degraded flow (repeated
+      // codec/corruption failures) stays uncompressed no matter what the
+      // gate says — re-scheduling must not resurrect the failing path.
+      const bool degraded = degraded_locked(f.flow_id);
+      const bool beta = !degraded && compression_ && f.compressible &&
                         cpu_headroom_ >= cpu::kMinCompressionHeadroom &&
                         codec_.beats_bandwidth(nic_rate_, cpu_headroom_);
       const double volume =
@@ -77,7 +87,7 @@ SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
                      (codec_.compress_speed * cpu_headroom_)
                : 0.0;
       gamma = std::max(gamma, compress_time + volume / nic_rate_);
-      result.decisions[f.flow_id] = FlowDecision{beta, nic_rate_};
+      result.decisions[f.flow_id] = FlowDecision{beta, nic_rate_, degraded};
       if (sink_ != nullptr)
         obs::emit_instant(sink_, obs::wall_now_us(), "beta_decision",
                           "runtime",
@@ -114,10 +124,21 @@ SchedResult Master::scheduling(const std::vector<CoflowRef>& refs) {
 void Master::alloc(const SchedResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   ranks_.clear();
-  for (std::size_t i = 0; i < result.order.size(); ++i)
-    ranks_[result.order[i]] = i;
-  for (const auto& [flow, decision] : result.decisions)
-    decisions_[flow] = decision;
+  for (std::size_t i = 0; i < result.order.size(); ++i) {
+    // Only coflows still registered get a rank: a stale SchedResult must
+    // not leave orphaned entries behind after remove().
+    if (coflows_.count(result.order[i]) > 0) ranks_[result.order[i]] = i;
+  }
+  for (const auto& [flow, decision] : result.decisions) {
+    // Same hygiene per flow, and degradation is sticky across re-allocs.
+    if (flow_owner_.count(flow) == 0) continue;
+    FlowDecision applied = decision;
+    if (degraded_locked(flow)) {
+      applied.compress = false;
+      applied.degraded = true;
+    }
+    decisions_[flow] = applied;
+  }
 }
 
 std::uint64_t Master::rank_of(CoflowRef ref) const {
@@ -134,9 +155,53 @@ FlowDecision Master::decision_of(RtFlowId flow) const {
   return it == decisions_.end() ? FlowDecision{} : it->second;
 }
 
+bool Master::degraded_locked(RtFlowId flow) const {
+  if (degrade_after_ <= 0) return false;
+  const auto it = flow_failures_.find(flow);
+  return it != flow_failures_.end() && it->second >= degrade_after_;
+}
+
+int Master::record_flow_failure(RtFlowId flow) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int count = ++flow_failures_[flow];
+  if (degrade_after_ > 0 && count == degrade_after_) {
+    ++degraded_count_;
+    const auto it = decisions_.find(flow);
+    if (it != decisions_.end()) {
+      it->second.compress = false;
+      it->second.degraded = true;
+    }
+    if (sink_ != nullptr) {
+      sink_->registry().counter("runtime.degraded_flows").add(1);
+      obs::emit_instant(sink_, obs::wall_now_us(), "flow_degraded", "fault",
+                        obs::Args()
+                            .add("flow", flow)
+                            .add("failures", count)
+                            .str(),
+                        obs::kWallPid, obs::current_thread_tid());
+    }
+  }
+  return count;
+}
+
 std::size_t Master::active_coflows() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return coflows_.size();
+}
+
+std::size_t Master::degraded_flows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_count_;
+}
+
+std::size_t Master::decision_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_.size();
+}
+
+std::size_t Master::rank_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ranks_.size();
 }
 
 }  // namespace swallow::runtime

@@ -25,6 +25,10 @@ struct CoflowInfo {
 struct FlowDecision {
   bool compress = false;
   common::Bps rate = 0;  ///< advisory per-flow rate (NIC-capped)
+  /// Graceful degradation: true once repeated codec/corruption failures
+  /// made the master flip this flow to uncompressed (compress stays false
+  /// for the rest of the flow's life, including re-scheduling).
+  bool degraded = false;
 };
 
 /// Output of scheduling() (Table IV's schResult): the coflow service order
@@ -40,8 +44,10 @@ class Master {
   /// model whose (R, xi) gate compression; `cpu_headroom` the assumed idle
   /// CPU share; `compression` mirrors swallow.smartCompress. `sink`
   /// (optional) receives per-decision trace events and profiling data.
+  /// `degrade_after` is the failure count at which a flow degrades to
+  /// uncompressed (RetryPolicy::degrade_after); <= 0 disables degradation.
   Master(common::Bps nic_rate, codec::CodecModel codec, double cpu_headroom,
-         bool compression, obs::Sink* sink = nullptr);
+         bool compression, obs::Sink* sink = nullptr, int degrade_after = 2);
 
   CoflowRef add(CoflowInfo info);
   void remove(CoflowRef ref);
@@ -61,7 +67,20 @@ class Master {
   /// Compression decision for a flow (false if never scheduled).
   FlowDecision decision_of(RtFlowId flow) const;
 
+  /// Recovery ladder: records one codec/corruption failure against a flow.
+  /// On reaching the configured threshold the decision flips to
+  /// uncompressed (degraded) — retransmits then take the cheap, robust
+  /// path — and the change is counted (runtime.degraded_flows) and traced
+  /// (`fault` category flow_degraded event). Returns the new count.
+  int record_flow_failure(RtFlowId flow);
+
   std::size_t active_coflows() const;
+  std::size_t degraded_flows() const;
+
+  /// Bookkeeping sizes, exposed so tests can assert remove() leaves no
+  /// stale ranks/decisions behind across job lifecycles.
+  std::size_t decision_count() const;
+  std::size_t rank_count() const;
 
  private:
   struct Entry {
@@ -69,16 +88,24 @@ class Master {
     double priority = 1.0;
   };
 
+  bool degraded_locked(RtFlowId flow) const;
+
   mutable std::mutex mutex_;
   common::Bps nic_rate_;
   codec::CodecModel codec_;
   double cpu_headroom_;
   bool compression_;
   obs::Sink* sink_;
+  int degrade_after_;
+  std::size_t degraded_count_ = 0;
   CoflowRef next_ref_ = 1;
   std::map<CoflowRef, Entry> coflows_;
   std::map<CoflowRef, std::uint64_t> ranks_;
   std::map<RtFlowId, FlowDecision> decisions_;
+  /// flow -> owning coflow; guards alloc() against resurrecting decisions
+  /// of a coflow removed between scheduling() and alloc().
+  std::map<RtFlowId, CoflowRef> flow_owner_;
+  std::map<RtFlowId, int> flow_failures_;
 };
 
 }  // namespace swallow::runtime

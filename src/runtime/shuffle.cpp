@@ -20,6 +20,35 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// jthread fan-out that survives exceptions: a ShuffleError thrown on a
+/// mapper/reducer thread is captured (first one wins) and rethrown on the
+/// calling thread after everyone joined — an uncaught throw in a jthread
+/// would std::terminate the process instead of failing the job.
+class TaskGroup {
+ public:
+  template <typename F>
+  void spawn(F&& fn) {
+    threads_.emplace_back([this, fn = std::forward<F>(fn)]() mutable {
+      try {
+        fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    });
+  }
+
+  void join_and_rethrow() {
+    threads_.clear();  // jthread dtors join
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  std::vector<std::jthread> threads_;
+  std::mutex mutex_;
+  std::exception_ptr first_error_;
+};
+
 std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
   std::uint64_t h = 14695981039346656037ULL;
   for (const std::uint8_t b : data) {
@@ -41,6 +70,7 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   report.app = config.app.name;
 
   BufferPool map_pool, reduce_pool;
+  const FaultStats faults_before = cluster.fault_stats();
   const auto job_start = Clock::now();
 
   // ---- Map stage: generate partitions, register flows. ----
@@ -103,15 +133,15 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   const std::size_t wire_before = cluster.total_wire_bytes();
   const auto shuffle_start = Clock::now();
   std::atomic<bool> verified{true};
+  std::atomic<BlockId> first_bad_block{0};
   double reduce_seconds = 0;
   std::mutex reduce_mutex;
   std::vector<codec::Buffer> outputs(config.reducers);
   {
     obs::ProfileScope stage(cluster.sink(), "shuffle.transfer", "runtime");
-    std::vector<std::jthread> tasks;
-    tasks.reserve(config.mappers + config.reducers);
+    TaskGroup tasks;
     for (std::size_t m = 0; m < config.mappers; ++m) {
-      tasks.emplace_back([&, m] {
+      tasks.spawn([&, m] {
         for (std::size_t r = 0; r < config.reducers; ++r) {
           const std::size_t idx = m * config.reducers + r;
           ctx.push(ref, block_id(m, r), partitions[idx], mapper_worker(m),
@@ -121,7 +151,7 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
       });
     }
     for (std::size_t r = 0; r < config.reducers; ++r) {
-      tasks.emplace_back([&, r] {
+      tasks.spawn([&, r] {
         std::uint64_t sink = 0;
         double my_reduce = 0;
         codec::Buffer output;
@@ -135,7 +165,11 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
             std::lock_guard<std::mutex> lock(checksum_mutex);
             expected = checksums.at(id);
           }
-          if (fnv1a(data) != expected) verified = false;
+          if (fnv1a(data) != expected) {
+            verified = false;
+            BlockId none = 0;
+            first_bad_block.compare_exchange_strong(none, id);
+          }
           // "Reduce": fold the bytes into the sink and keep the output for
           // the optional result stage.
           for (const std::uint8_t b : data) sink += b;
@@ -148,6 +182,12 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
         reduce_seconds += my_reduce;
         (void)sink;
       });
+    }
+    try {
+      tasks.join_and_rethrow();
+    } catch (...) {
+      ctx.remove(ref);  // failed jobs must not leak master/store state
+      throw;
     }
   }
   report.shuffle_time = seconds_since(shuffle_start);
@@ -182,10 +222,9 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
     const CoflowRef result_ref = ctx.add(ctx.aggregate(std::move(result_flows)));
     ctx.alloc(ctx.scheduling({result_ref}));
     {
-      std::vector<std::jthread> writers;
-      writers.reserve(config.reducers);
+      TaskGroup writers;
       for (std::size_t r = 0; r < config.reducers; ++r) {
-        writers.emplace_back([&, r] {
+        writers.spawn([&, r] {
           for (std::size_t k = 0; k < config.result_replicas; ++k) {
             const auto dst = static_cast<WorkerId>(
                 (reducer_worker(r) + k + 1) % cluster.size());
@@ -193,6 +232,12 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
                      reducer_worker(r), dst);
           }
         });
+      }
+      try {
+        writers.join_and_rethrow();
+      } catch (...) {
+        ctx.remove(result_ref);
+        throw;
       }
     }
     ctx.remove(result_ref);
@@ -207,8 +252,25 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
   report.map_pool = map_pool.stats();
   report.reduce_pool = reduce_pool.stats();
   report.verified = verified.load();
-  if (!report.verified)
-    throw std::runtime_error("shuffle: payload verification failed");
+
+  const FaultStats faults_after = cluster.fault_stats();
+  report.faults_injected =
+      faults_after.total_injected() - faults_before.total_injected();
+  report.retries = faults_after.retries - faults_before.retries;
+  report.retransmits = faults_after.retransmits - faults_before.retransmits;
+  report.corrupt_frames =
+      faults_after.corrupt_frames - faults_before.corrupt_frames;
+  report.pull_timeouts =
+      faults_after.pull_timeouts - faults_before.pull_timeouts;
+  report.gate_evictions =
+      faults_after.gate_evictions - faults_before.gate_evictions;
+  report.degraded_flows =
+      faults_after.degraded_flows - faults_before.degraded_flows;
+
+  if (!report.verified) {
+    const BlockId bad = first_bad_block.load();
+    throw ShuffleError(ShuffleFailure::kVerification, ref, bad, bad);
+  }
   return report;
 }
 

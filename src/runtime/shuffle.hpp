@@ -41,6 +41,16 @@ struct ShuffleReport {
 
   bool verified = false;  ///< every block matched its pre-shuffle checksum
 
+  /// Fault/recovery activity during this job (deltas of the cluster-wide
+  /// FaultStats around the run; all zero with the injector disabled).
+  std::size_t faults_injected = 0;
+  std::size_t retries = 0;          ///< push/pull attempts beyond the first
+  std::size_t retransmits = 0;      ///< re-pushes from the retention store
+  std::size_t corrupt_frames = 0;   ///< frames rejected by FNV checksums
+  std::size_t pull_timeouts = 0;    ///< bounded waits that expired
+  std::size_t gate_evictions = 0;   ///< dead PortGate holders evicted
+  std::size_t degraded_flows = 0;   ///< flows flipped to uncompressed
+
   double traffic_reduction() const {
     return raw_bytes == 0
                ? 0.0
@@ -50,7 +60,11 @@ struct ShuffleReport {
 };
 
 /// Runs one job; mappers live on workers [0..mappers), reducers on workers
-/// ((mapper_count + j) mod cluster size). Throws on verification failure.
+/// ((mapper_count + j) mod cluster size). Failures surface as typed
+/// ShuffleError (kVerification when a payload mismatched its pre-shuffle
+/// checksum; kPullTimeout / kCorruption / kCodecFailure propagated from the
+/// push/pull recovery paths) — worker-thread exceptions are rethrown on the
+/// calling thread, never std::terminate.
 ShuffleReport run_shuffle_job(Cluster& cluster, const ShuffleJobConfig& config);
 
 }  // namespace swallow::runtime

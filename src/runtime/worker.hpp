@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -36,18 +37,49 @@ struct FlowInfo {
 
 /// Serializes transfers through a port in scheduling-priority order: the
 /// waiter with the smallest rank proceeds when the port frees up.
+///
+/// Failure model: a holder that dies without releasing (a crashed worker)
+/// would wedge the port and every waiter behind it forever. With a holder
+/// timeout configured, waiters evict a holder that has sat on the port too
+/// long; tickets make the dead holder's eventual release() a no-op, so an
+/// evicted-but-alive straggler cannot free the port out from under the new
+/// holder. Eviction trades strict mutual exclusion for liveness during
+/// recovery — the evicted transfer may still be mid-flight, which in this
+/// in-process model only relaxes the port ordering, never corrupts data.
 class PortGate {
  public:
-  void acquire(std::uint64_t rank);
+  /// Monotonic holder identity; pass it to release(). 0 is never issued.
+  using Ticket = std::uint64_t;
+
+  /// Blocks until first-in-rank-order, then takes the port.
+  Ticket acquire(std::uint64_t rank);
+  /// Releases the port iff `ticket` is still the live holder (no-op after
+  /// an eviction superseded it).
+  void release(Ticket ticket);
+  /// Unticketed release: frees the port unconditionally. Only safe when no
+  /// holder timeout is configured (the pre-fault-injection protocol).
   void release();
+
+  /// Holder timeout in seconds; 0 (default) never evicts, preserving the
+  /// original block-forever behaviour bit-for-bit.
+  void set_holder_timeout(common::Seconds timeout);
+  std::size_t evictions() const;
+
   /// Records per-acquire wait times into the sink's
   /// "runtime.gate_wait_us" histogram; null disables.
   void set_sink(obs::Sink* sink) { sink_ = sink; }
 
  private:
-  std::mutex mutex_;
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool busy_ = false;
+  Ticket next_ticket_ = 0;
+  Ticket holder_ = 0;
+  Clock::time_point busy_since_{};
+  double holder_timeout_ = 0;
+  std::size_t evictions_ = 0;
   std::multiset<std::uint64_t> waiters_;
   obs::Sink* sink_ = nullptr;
 };
@@ -65,6 +97,11 @@ class Worker {
   /// Sender-side registration; drained by SwallowContext::hook().
   void register_flow(const FlowInfo& info);
   std::vector<FlowInfo> drain_registrations();
+
+  /// Worker-kill support: a dead worker keeps its objects alive (threads
+  /// may still hold references) but the cluster routes around it.
+  void mark_dead() { dead_.store(true, std::memory_order_relaxed); }
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
 
   /// Traffic counters (bytes): what went on the wire vs the raw payload.
   void account_transfer(std::size_t raw_bytes, std::size_t wire_bytes);
@@ -84,6 +121,7 @@ class Worker {
 
   std::atomic<std::size_t> wire_bytes_{0};
   std::atomic<std::size_t> raw_bytes_{0};
+  std::atomic<bool> dead_{false};
 };
 
 }  // namespace swallow::runtime

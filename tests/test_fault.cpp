@@ -1,0 +1,386 @@
+// Fault-injection and recovery tests: deterministic injector behavior,
+// corruption reaching the frame checksums, bounded backoff, retention and
+// retransmit, PortGate holder eviction, graceful degradation, worker kill,
+// and the full fault matrix (every fault class x smart_compress on/off)
+// asserting jobs either complete verified or fail with a typed
+// ShuffleError — never hang, never silently corrupt.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "codec/frame.hpp"
+#include "codec/null_codec.hpp"
+#include "runtime/context.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/shuffle.hpp"
+
+namespace swallow::runtime {
+namespace {
+
+ClusterConfig fault_config(bool compress = true) {
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.nic_rate = 512.0 * 1024 * 1024;
+  config.smart_compress = compress;
+  config.codec_model = codec::CodecModel{"test", 4e9, 8e9, 0.5};
+  // Short per-attempt waits keep fault tests brisk; the retry budget still
+  // bounds every path.
+  config.retry.pull_timeout = 0.15;
+  config.retry.base_backoff = 0.002;
+  config.retry.max_backoff = 0.02;
+  config.retry.gate_holder_timeout = 0.25;
+  return config;
+}
+
+ShuffleJobConfig small_job(std::uint64_t seed = 1) {
+  ShuffleJobConfig job;
+  job.app = codec::app_by_name("Sort");
+  job.mappers = 3;
+  job.reducers = 2;
+  job.bytes_per_partition = 16 * 1024;
+  job.seed = seed;
+  return job;
+}
+
+TEST(FaultInjector, DisabledNeverFires) {
+  FaultConfig config;  // enabled = false
+  config.set_uniform_rate(1.0);
+  FaultInjector injector(config, nullptr, nullptr);
+  EXPECT_FALSE(injector.enabled());
+  for (int b = 1; b < 50; ++b)
+    EXPECT_FALSE(injector.fires(FaultKind::kDrop, b, 0));
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicInSeed) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 42;
+  config.set_uniform_rate(0.3);
+  FaultInjector a(config, nullptr, nullptr);
+  FaultInjector b(config, nullptr, nullptr);
+  config.seed = 43;
+  FaultInjector c(config, nullptr, nullptr);
+
+  bool any_fired = false;
+  bool seed_changed_pattern = false;
+  for (BlockId block = 1; block <= 200; ++block) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const bool fa = a.fires(FaultKind::kCorrupt, block, attempt);
+      EXPECT_EQ(fa, b.fires(FaultKind::kCorrupt, block, attempt));
+      any_fired = any_fired || fa;
+      if (fa != c.fires(FaultKind::kCorrupt, block, attempt))
+        seed_changed_pattern = true;
+    }
+  }
+  EXPECT_TRUE(any_fired);
+  EXPECT_TRUE(seed_changed_pattern);
+}
+
+TEST(FaultInjector, CorruptionIsCaughtByFrameChecksums) {
+  common::Rng rng(7);
+  const codec::Buffer payload = codec::text_bytes(8 * 1024, rng);
+  const codec::NullCodec null;
+  codec::Buffer wire = codec::frame_compress(null, payload);
+  const codec::Buffer magic(wire.begin(), wire.begin() + 4);
+
+  FaultConfig config;
+  config.enabled = true;
+  config.corrupt_rate = 1.0;
+  FaultInjector injector(config, nullptr, nullptr);
+  injector.corrupt(wire, /*block=*/9, /*attempt=*/0);
+
+  // The magic survives so the corruption reaches the checksum machinery.
+  EXPECT_EQ(codec::Buffer(wire.begin(), wire.begin() + 4), magic);
+  EXPECT_THROW(codec::frame_decompress(wire), codec::CodecError);
+}
+
+TEST(Backoff, GrowsExponentiallyAndStaysBounded) {
+  RetryPolicy retry;
+  retry.base_backoff = 0.01;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff = 0.05;
+  retry.jitter = 0.0;  // deterministic for exact bounds
+  common::Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay(retry, 1, rng), 0.01);
+  EXPECT_DOUBLE_EQ(backoff_delay(retry, 2, rng), 0.02);
+  EXPECT_DOUBLE_EQ(backoff_delay(retry, 3, rng), 0.04);
+  EXPECT_DOUBLE_EQ(backoff_delay(retry, 4, rng), 0.05);   // clamped
+  EXPECT_DOUBLE_EQ(backoff_delay(retry, 20, rng), 0.05);  // stays clamped
+
+  retry.jitter = 0.5;
+  for (int i = 0; i < 50; ++i) {
+    const common::Seconds d = backoff_delay(retry, 2, rng);
+    EXPECT_GE(d, 0.01);  // (1 - jitter) * 0.02
+    EXPECT_LE(d, 0.02);
+  }
+}
+
+TEST(RetentionStore, RetainLookupDrop) {
+  RetentionStore store;
+  const codec::Buffer raw{1, 2, 3, 4};
+  store.retain(BlockKey{7, 11}, /*src=*/0, /*dst=*/2, raw);
+  EXPECT_EQ(store.block_count(), 1u);
+  EXPECT_EQ(store.resident_bytes(), 4u);
+
+  const auto hit = store.lookup(BlockKey{7, 11});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->raw, raw);
+  EXPECT_EQ(hit->src, 0u);
+  EXPECT_EQ(hit->dst, 2u);
+  EXPECT_FALSE(store.lookup(BlockKey{7, 12}).has_value());
+
+  EXPECT_EQ(store.drop_coflow(7), 4u);
+  EXPECT_EQ(store.block_count(), 0u);
+}
+
+TEST(PortGate, EvictsDeadHolderAfterTimeout) {
+  PortGate gate;
+  gate.set_holder_timeout(0.05);
+  const PortGate::Ticket dead = gate.acquire(0);  // "crashes", never releases
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const PortGate::Ticket next = gate.acquire(1);  // must not hang
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 0.03);
+  EXPECT_LT(waited, 2.0);
+  EXPECT_EQ(gate.evictions(), 1u);
+
+  // The evicted holder's late release must not free the port under the
+  // new holder.
+  gate.release(dead);
+  std::atomic<bool> acquired{false};
+  std::jthread waiter([&] {
+    gate.acquire(2);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());  // still held by `next`
+  gate.release(next);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(Master, DegradationLadderFlipsFlowToUncompressed) {
+  ClusterConfig config = fault_config();
+  config.retry.degrade_after = 2;
+  Cluster cluster(config);
+  Master& master = cluster.master();
+  CoflowInfo info;
+  info.flows = {{1, 0, 0, 1, 1000, true}};
+  const CoflowRef ref = master.add(std::move(info));
+  master.alloc(master.scheduling({ref}));
+  EXPECT_TRUE(master.decision_of(1).compress);
+  EXPECT_FALSE(master.decision_of(1).degraded);
+
+  EXPECT_EQ(master.record_flow_failure(1), 1);
+  EXPECT_TRUE(master.decision_of(1).compress);  // below threshold
+  EXPECT_EQ(master.record_flow_failure(1), 2);
+  EXPECT_FALSE(master.decision_of(1).compress);
+  EXPECT_TRUE(master.decision_of(1).degraded);
+  EXPECT_EQ(master.degraded_flows(), 1u);
+
+  // Degradation is sticky across re-scheduling and re-allocation.
+  master.alloc(master.scheduling({ref}));
+  EXPECT_FALSE(master.decision_of(1).compress);
+  EXPECT_TRUE(master.decision_of(1).degraded);
+  EXPECT_EQ(master.degraded_flows(), 1u);  // counted once
+}
+
+TEST(Fault, PersistentCodecFailureDegradesButJobCompletes) {
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;
+  config.fault.codec_fail_rate = 1.0;  // every compress attempt fails
+  config.retry.degrade_after = 2;
+  Cluster cluster(config);
+  const ShuffleReport report = run_shuffle_job(cluster, small_job());
+  EXPECT_TRUE(report.verified);
+  // Every flow hit the ladder and fell back to the uncompressed path.
+  EXPECT_GT(report.degraded_flows, 0u);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_LT(report.traffic_reduction(), 0.01);  // nothing compressed
+}
+
+TEST(Fault, TotalDropExhaustsRetriesWithTypedError) {
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;
+  config.fault.drop_rate = 1.0;  // every attempt (and retransmit) vanishes
+  config.retry.max_attempts = 2;
+  config.retry.pull_timeout = 0.05;
+  Cluster cluster(config);
+  try {
+    run_shuffle_job(cluster, small_job());
+    FAIL() << "expected ShuffleError";
+  } catch (const ShuffleError& e) {
+    EXPECT_EQ(e.kind(), ShuffleFailure::kPullTimeout);
+    EXPECT_NE(e.block(), 0u);
+    EXPECT_NE(std::string(e.what()).find("pull_timeout"), std::string::npos);
+  }
+  // The failed job still cleaned up after itself.
+  EXPECT_EQ(cluster.master().active_coflows(), 0u);
+  EXPECT_EQ(cluster.retention().block_count(), 0u);
+  EXPECT_GT(cluster.fault_stats().pull_timeouts, 0u);
+}
+
+TEST(Fault, WorkerKillRecoversViaRetention) {
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;
+  config.fault.kill_enabled = true;
+  config.fault.kill_worker = 1;
+  config.fault.kill_after_deliveries = 2;
+  Cluster cluster(config);
+  const ShuffleReport report = run_shuffle_job(cluster, small_job());
+  EXPECT_TRUE(report.verified);
+  EXPECT_TRUE(cluster.worker_dead(1));
+  EXPECT_EQ(cluster.fault_stats().worker_kills, 1u);
+  EXPECT_EQ(cluster.effective_worker(1), 2u);
+}
+
+TEST(Fault, KillHoldingGateIsEvictedNotDeadlocked) {
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;
+  config.fault.kill_enabled = true;
+  config.fault.kill_worker = 0;
+  config.fault.kill_after_deliveries = 1;
+  config.fault.kill_holding_gate = true;
+  config.retry.gate_holder_timeout = 0.05;
+  Cluster cluster(config);
+  const ShuffleReport report = run_shuffle_job(cluster, small_job());
+  EXPECT_TRUE(report.verified);
+  EXPECT_TRUE(cluster.worker_dead(0));
+}
+
+TEST(Fault, MatrixEveryKindEitherCompletesVerifiedOrThrowsTyped) {
+  struct Case {
+    const char* name;
+    void (*apply)(FaultConfig&);
+  };
+  const Case cases[] = {
+      {"drop", [](FaultConfig& f) { f.drop_rate = 0.3; }},
+      {"corrupt", [](FaultConfig& f) { f.corrupt_rate = 0.3; }},
+      {"stall",
+       [](FaultConfig& f) {
+         f.stall_rate = 0.5;
+         f.stall_duration = 0.01;
+       }},
+      {"codec_fail", [](FaultConfig& f) { f.codec_fail_rate = 0.3; }},
+      {"worker_kill",
+       [](FaultConfig& f) {
+         f.kill_enabled = true;
+         f.kill_worker = 2;
+         f.kill_after_deliveries = 3;
+       }},
+      {"everything",
+       [](FaultConfig& f) {
+         f.set_uniform_rate(0.15);
+         f.kill_enabled = true;
+         f.kill_worker = 3;
+         f.kill_after_deliveries = 4;
+       }},
+  };
+
+  for (const bool compress : {true, false}) {
+    for (const Case& c : cases) {
+      ClusterConfig config = fault_config(compress);
+      config.fault.enabled = true;
+      config.fault.seed = 99;
+      c.apply(config.fault);
+      Cluster cluster(config);
+      try {
+        const ShuffleReport report =
+            run_shuffle_job(cluster, small_job(/*seed=*/3));
+        // Completion implies full payload verification: recovery never
+        // hands corrupted bytes to the reducers.
+        EXPECT_TRUE(report.verified)
+            << c.name << " compress=" << compress;
+      } catch (const ShuffleError& e) {
+        // Bounded, typed failure is acceptable; silent corruption or a
+        // hang (caught by the ctest TIMEOUT) is not.
+        EXPECT_NE(e.block(), 0u) << c.name << " compress=" << compress;
+      }
+      // Either way the job released its bookkeeping.
+      EXPECT_EQ(cluster.master().active_coflows(), 0u) << c.name;
+      EXPECT_EQ(cluster.retention().block_count(), 0u) << c.name;
+    }
+  }
+}
+
+TEST(Fault, DisabledInjectorIsByteIdenticalToBaseline) {
+  // Baseline: a config that never mentions the fault machinery.
+  ClusterConfig baseline = fault_config();
+  // Variant: fault knobs present (rates set, seed set) but enabled=false.
+  ClusterConfig disabled = fault_config();
+  disabled.fault.seed = 1234;
+  disabled.fault.set_uniform_rate(1.0);  // must be ignored while disabled
+
+  Cluster a(baseline), b(disabled);
+  const ShuffleReport ra = run_shuffle_job(a, small_job(/*seed=*/5));
+  const ShuffleReport rb = run_shuffle_job(b, small_job(/*seed=*/5));
+
+  EXPECT_TRUE(ra.verified);
+  EXPECT_TRUE(rb.verified);
+  // Byte-for-byte identical traffic and zero fault-path activity.
+  EXPECT_EQ(ra.raw_bytes, rb.raw_bytes);
+  EXPECT_EQ(ra.wire_bytes, rb.wire_bytes);
+  EXPECT_EQ(a.total_wire_bytes(), b.total_wire_bytes());
+  EXPECT_EQ(a.total_raw_bytes(), b.total_raw_bytes());
+  for (const ShuffleReport* r : {&ra, &rb}) {
+    EXPECT_EQ(r->faults_injected, 0u);
+    EXPECT_EQ(r->retries, 0u);
+    EXPECT_EQ(r->retransmits, 0u);
+    EXPECT_EQ(r->corrupt_frames, 0u);
+    EXPECT_EQ(r->pull_timeouts, 0u);
+    EXPECT_EQ(r->gate_evictions, 0u);
+    EXPECT_EQ(r->degraded_flows, 0u);
+  }
+  // Retention never populated on the disabled path.
+  EXPECT_EQ(a.retention().block_count(), 0u);
+  EXPECT_EQ(b.retention().block_count(), 0u);
+  EXPECT_EQ(b.fault_stats().total_injected(), 0u);
+}
+
+TEST(Fault, StatsAccumulateAcrossInjections) {
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;
+  config.fault.drop_rate = 0.4;
+  config.fault.seed = 7;
+  Cluster cluster(config);
+  const ShuffleReport report = run_shuffle_job(cluster, small_job());
+  EXPECT_TRUE(report.verified);
+  const FaultStats stats = cluster.fault_stats();
+  EXPECT_GT(stats.injected_drops, 0u);
+  EXPECT_GT(stats.pull_timeouts, 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_EQ(stats.total_injected(), stats.injected_drops);
+  // Report deltas match the cluster-wide counters for a single job.
+  EXPECT_EQ(report.retransmits, stats.retransmits);
+  EXPECT_EQ(report.pull_timeouts, stats.pull_timeouts);
+}
+
+TEST(ShuffleError, CarriesCoordinatesAndKind) {
+  const ShuffleError e(ShuffleFailure::kCorruption, 3, 14, 14);
+  EXPECT_EQ(e.kind(), ShuffleFailure::kCorruption);
+  EXPECT_EQ(e.coflow(), 3u);
+  EXPECT_EQ(e.flow(), 14u);
+  EXPECT_EQ(e.block(), 14u);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("corruption"), std::string::npos);
+  EXPECT_NE(what.find("14"), std::string::npos);
+}
+
+TEST(Cluster, KillWorkerNeverKillsLastSurvivor) {
+  ClusterConfig config = fault_config();
+  config.num_workers = 2;
+  Cluster cluster(config);
+  cluster.kill_worker(0);
+  EXPECT_TRUE(cluster.worker_dead(0));
+  cluster.kill_worker(1);  // refused: last one standing
+  EXPECT_FALSE(cluster.worker_dead(1));
+  EXPECT_EQ(cluster.effective_worker(0), 1u);
+  EXPECT_EQ(cluster.effective_worker(1), 1u);
+}
+
+}  // namespace
+}  // namespace swallow::runtime

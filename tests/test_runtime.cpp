@@ -39,6 +39,33 @@ TEST(Channel, CloseDrainsThenSignals) {
   EXPECT_TRUE(ch.closed());
 }
 
+TEST(Channel, ReceiveForTimesOutOnEmptyChannel) {
+  Channel<int> ch;
+  const auto t0 = Clock::now();
+  EXPECT_EQ(ch.receive_for(std::chrono::milliseconds(30)), std::nullopt);
+  EXPECT_GT(seconds(t0, Clock::now()), 0.02);
+  EXPECT_FALSE(ch.closed());  // timeout, not closure
+}
+
+TEST(Channel, ReceiveForReturnsValueBeforeDeadline) {
+  Channel<int> ch;
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.send(9);
+  });
+  const auto t0 = Clock::now();
+  EXPECT_EQ(ch.receive_for(std::chrono::seconds(5)), 9);
+  EXPECT_LT(seconds(t0, Clock::now()), 1.0);  // did not run out the clock
+}
+
+TEST(Channel, ReceiveForDrainsThenSignalsClosure) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  EXPECT_EQ(ch.receive_for(std::chrono::milliseconds(50)), 1);
+  EXPECT_EQ(ch.receive_for(std::chrono::milliseconds(50)), std::nullopt);
+}
+
 TEST(Channel, CrossThreadHandoff) {
   Channel<int> ch;
   std::jthread producer([&] {
@@ -96,6 +123,34 @@ TEST(BlockStore, TakeBlocksUntilPut) {
   const codec::Buffer data = store.take({5, 5});
   EXPECT_EQ(data.front(), 42);
   EXPECT_GT(seconds(t0, Clock::now()), 0.01);
+}
+
+TEST(BlockStore, TakeForTimesOutWhenBlockNeverArrives) {
+  BlockStore store;
+  const auto t0 = Clock::now();
+  EXPECT_EQ(store.take_for({9, 9}, 0.05), std::nullopt);
+  EXPECT_GT(seconds(t0, Clock::now()), 0.03);
+}
+
+TEST(BlockStore, TakeForReturnsBlockBeforeDeadline) {
+  BlockStore store;
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    store.put({5, 6}, {42});
+  });
+  const auto data = store.take_for({5, 6}, 5.0);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->front(), 42);
+  EXPECT_EQ(store.block_count(), 0u);
+}
+
+TEST(BlockStore, ClearWipesEverything) {
+  BlockStore store;
+  store.put({1, 1}, {1, 2});
+  store.put({2, 1}, {3});
+  EXPECT_EQ(store.clear(), 3u);
+  EXPECT_EQ(store.block_count(), 0u);
+  EXPECT_EQ(store.resident_bytes(), 0u);
 }
 
 TEST(BlockStore, DropCoflowRemovesAllItsBlocks) {
@@ -195,6 +250,40 @@ TEST(Master, AddScheduleRemoveLifecycle) {
   EXPECT_EQ(master.active_coflows(), 0u);
   EXPECT_FALSE(master.decision_of(1).compress);
   EXPECT_THROW(master.scheduling({ref}), std::out_of_range);
+}
+
+TEST(Master, RemoveLeavesNoStaleRanksOrDecisions) {
+  Cluster cluster(fast_config());
+  Master& master = cluster.master();
+  CoflowInfo a, b;
+  a.flows = {{1, 0, 0, 1, 1000, true}, {2, 0, 0, 2, 500, true}};
+  b.flows = {{3, 0, 1, 2, 800, true}};
+  const CoflowRef ra = master.add(std::move(a));
+  const CoflowRef rb = master.add(std::move(b));
+  master.alloc(master.scheduling({ra, rb}));
+  EXPECT_EQ(master.decision_count(), 3u);
+  EXPECT_EQ(master.rank_count(), 2u);
+
+  master.remove(ra);
+  EXPECT_EQ(master.decision_count(), 1u);  // only coflow b's flow remains
+  EXPECT_EQ(master.rank_count(), 1u);
+  master.remove(rb);
+  EXPECT_EQ(master.decision_count(), 0u);
+  EXPECT_EQ(master.rank_count(), 0u);
+}
+
+TEST(Master, StaleAllocAfterRemoveDoesNotResurrectState) {
+  Cluster cluster(fast_config());
+  Master& master = cluster.master();
+  CoflowInfo info;
+  info.flows = {{1, 0, 0, 1, 1000, true}};
+  const CoflowRef ref = master.add(std::move(info));
+  const SchedResult result = master.scheduling({ref});
+  master.remove(ref);
+  // A SchedResult computed before remove() must not leak entries back in.
+  master.alloc(result);
+  EXPECT_EQ(master.decision_count(), 0u);
+  EXPECT_EQ(master.rank_count(), 0u);
 }
 
 TEST(Master, FvdfOrdersSmallerExpectedCompletionFirst) {
@@ -319,6 +408,9 @@ TEST(Shuffle, ConcurrentJobsShareTheCluster) {
   EXPECT_TRUE(a.verified);
   EXPECT_TRUE(b.verified);
   EXPECT_EQ(cluster.master().active_coflows(), 0u);
+  // Full lifecycle leaves no master bookkeeping behind.
+  EXPECT_EQ(cluster.master().decision_count(), 0u);
+  EXPECT_EQ(cluster.master().rank_count(), 0u);
 }
 
 TEST(Shuffle, ResultStageReplicatesOutputs) {
