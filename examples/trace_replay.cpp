@@ -7,6 +7,9 @@
 //   ./trace_replay --trace=/path/to/trace.txt --scheduler=SEBF
 //   ./trace_replay --write_trace=/tmp/out.txt   (emit a sample trace file)
 //   ./trace_replay --csv=/tmp/out  (also writes out.flows.csv etc.)
+//   ./trace_replay --degrade-rate=0.05 --degrade-seed=7   (replay the same
+//       trace against a degrading fabric: seeded link failures/brownouts;
+//       rate 0 — the default — is byte-identical to the static fabric)
 #include <fstream>
 #include <iostream>
 
@@ -57,6 +60,9 @@ int main(int argc, char** argv) {
   const codec::CodecModel codec =
       codec::codec_model_by_name(flags.get("codec", "LZ4"));
   config.codec = &codec;
+  config.degradation.rate = flags.get_double("degrade-rate", 0.0);
+  config.degradation.seed =
+      static_cast<std::uint64_t>(flags.get_int("degrade-seed", 1));
 
   const auto scheduler = sim::make_scheduler(name);
   const sim::Metrics m =
@@ -77,6 +83,16 @@ int main(int argc, char** argv) {
   table.add_row({"bytes on wire", common::fmt_bytes(m.total_wire_bytes())});
   table.add_row({"traffic reduction",
                  common::fmt_percent(m.traffic_reduction())});
+  if (config.degradation.enabled()) {
+    table.add_row({"capacity changes",
+                   std::to_string(m.degradation.capacity_changes)});
+    table.add_row({"link failures",
+                   std::to_string(m.degradation.link_failures)});
+    table.add_row({"stalled flow-slices",
+                   std::to_string(m.degradation.stalled_flow_slices)});
+    table.add_row({"compression flips",
+                   std::to_string(m.degradation.compression_flips)});
+  }
   table.print(std::cout);
 
   if (flags.has("csv")) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -97,11 +98,21 @@ std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
                 ctx.cpu->can_compress(f->src, ctx.now));
       }
       est.beta.push_back(beta);
-      // Eq. 7 needs a codec even when beta is false; the term vanishes.
-      const codec::CodecModel& model =
-          ctx.codec != nullptr ? *ctx.codec : codec::default_codec_model();
-      const common::Seconds fct =
-          expected_fct(*f, beta, model, headroom, bandwidth, ctx.slice);
+      // A failed link (current bottleneck 0) makes Eq. 7 unbounded: the
+      // flow cannot transmit until the port recovers, so its coflow ranks
+      // last regardless of priority — exactly what volume disposal wants,
+      // since spending bandwidth elsewhere is always better. Compression
+      // may still run (Eq. 3 holds trivially at B = 0), disposing raw
+      // volume while the flow waits.
+      common::Seconds fct;
+      if (bandwidth <= 0) {
+        fct = std::numeric_limits<common::Seconds>::infinity();
+      } else {
+        // Eq. 7 needs a codec even when beta is false; the term vanishes.
+        const codec::CodecModel& model =
+            ctx.codec != nullptr ? *ctx.codec : codec::default_codec_model();
+        fct = expected_fct(*f, beta, model, headroom, bandwidth, ctx.slice);
+      }
       est.gamma = std::max(est.gamma, fct);  // Eq. 8
       if (ctx.sink != nullptr) [[unlikely]]
         emit_beta_decision(ctx, *f, *c, beta, fct);

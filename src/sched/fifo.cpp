@@ -5,7 +5,7 @@
 namespace swallow::sched {
 
 fabric::Allocation FifoScheduler::schedule(const SchedContext& ctx) {
-  std::vector<const fabric::Flow*> ordered = ctx.flows;
+  std::vector<const fabric::Flow*> ordered = transmittable_flows(ctx);
   std::stable_sort(ordered.begin(), ordered.end(),
                    [](const fabric::Flow* a, const fabric::Flow* b) {
                      if (a->arrival != b->arrival) return a->arrival < b->arrival;

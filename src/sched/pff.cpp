@@ -3,8 +3,9 @@
 namespace swallow::sched {
 
 fabric::Allocation PffScheduler::schedule(const SchedContext& ctx) {
-  const std::vector<double> weights(ctx.flows.size(), 1.0);
-  return fabric::weighted_max_min(ctx.flows, weights, *ctx.fabric);
+  const std::vector<const fabric::Flow*> flows = transmittable_flows(ctx);
+  const std::vector<double> weights(flows.size(), 1.0);
+  return fabric::weighted_max_min(flows, weights, *ctx.fabric);
 }
 
 }  // namespace swallow::sched

@@ -8,12 +8,26 @@ namespace swallow::sched {
 std::vector<const fabric::Flow*> order_flows_by_coflow(
     const SchedContext& ctx,
     const std::vector<fabric::CoflowId>& coflow_order) {
+  return order_flows_by_coflow(transmittable_flows(ctx), coflow_order);
+}
+
+std::vector<const fabric::Flow*> transmittable_flows(const SchedContext& ctx) {
+  std::vector<const fabric::Flow*> out;
+  out.reserve(ctx.flows.size());
+  for (const fabric::Flow* f : ctx.flows)
+    if (!link_stalled(*f, *ctx.fabric)) out.push_back(f);
+  return out;
+}
+
+std::vector<const fabric::Flow*> order_flows_by_coflow(
+    std::vector<const fabric::Flow*> flows,
+    const std::vector<fabric::CoflowId>& coflow_order) {
   std::unordered_map<fabric::CoflowId, std::size_t> rank;
   rank.reserve(coflow_order.size());
   for (std::size_t i = 0; i < coflow_order.size(); ++i)
     rank[coflow_order[i]] = i;
 
-  std::vector<const fabric::Flow*> ordered = ctx.flows;
+  std::vector<const fabric::Flow*> ordered = std::move(flows);
   std::stable_sort(ordered.begin(), ordered.end(),
                    [&rank](const fabric::Flow* a, const fabric::Flow* b) {
                      const auto ra = rank.find(a->coflow);

@@ -56,5 +56,23 @@ class Scheduler {
 /// Shared by FIFO(coflow mode)/SEBF/SCF/NCF/LCF-style orderings.
 std::vector<const fabric::Flow*> order_flows_by_coflow(
     const SchedContext& ctx, const std::vector<fabric::CoflowId>& coflow_order);
+std::vector<const fabric::Flow*> order_flows_by_coflow(
+    std::vector<const fabric::Flow*> flows,
+    const std::vector<fabric::CoflowId>& coflow_order);
+
+/// True when the flow cannot transmit at this instant: its source or
+/// destination port has zero *current* capacity (failed link under the
+/// degradation model). Such flows stall — they take no allocation slot and
+/// accrue waiting time until the link recovers.
+inline bool link_stalled(const fabric::Flow& flow,
+                         const fabric::Fabric& fabric) {
+  return fabric.ingress_capacity(flow.src) <= 0.0 ||
+         fabric.egress_capacity(flow.dst) <= 0.0;
+}
+
+/// ctx.flows minus the stalled ones (order preserved). Every policy
+/// allocates over this set, so rates are always priced against current
+/// port capacities and a failed link never absorbs an allocation.
+std::vector<const fabric::Flow*> transmittable_flows(const SchedContext& ctx);
 
 }  // namespace swallow::sched

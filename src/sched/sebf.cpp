@@ -11,16 +11,23 @@ fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
     common::Seconds gamma;
   };
 
+  // Stalled flows (failed src/dst link) take no allocation and contribute
+  // no gamma: MADD over the reachable flows keeps the coflow progressing
+  // while the dead port's share waits for recovery.
+  const std::vector<const fabric::Flow*> usable = transmittable_flows(ctx);
+
   std::vector<Entry> entries;
   entries.reserve(ctx.coflows.size());
   for (fabric::Coflow* c : ctx.coflows) {
     Entry e;
     e.coflow = c;
-    for (const fabric::Flow* f : ctx.flows)
+    for (const fabric::Flow* f : usable)
       if (f->coflow == c->id && !f->done()) e.flows.push_back(f);
     if (e.flows.empty()) continue;
 
-    // Effective bottleneck over remaining volumes.
+    // Effective bottleneck over remaining volumes, against *current* port
+    // capacities. Zero-capacity ports carry no usable load (stalled flows
+    // were filtered above), so the division is safe to skip.
     std::vector<common::Bytes> in_load(ctx.fabric->num_ports(), 0.0);
     std::vector<common::Bytes> out_load(ctx.fabric->num_ports(), 0.0);
     for (const fabric::Flow* f : e.flows) {
@@ -29,8 +36,10 @@ fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
     }
     e.gamma = 0;
     for (fabric::PortId p = 0; p < ctx.fabric->num_ports(); ++p) {
-      e.gamma = std::max(e.gamma, in_load[p] / ctx.fabric->ingress_capacity(p));
-      e.gamma = std::max(e.gamma, out_load[p] / ctx.fabric->egress_capacity(p));
+      const common::Bps in_cap = ctx.fabric->ingress_capacity(p);
+      const common::Bps out_cap = ctx.fabric->egress_capacity(p);
+      if (in_cap > 0) e.gamma = std::max(e.gamma, in_load[p] / in_cap);
+      if (out_cap > 0) e.gamma = std::max(e.gamma, out_load[p] / out_cap);
     }
     entries.push_back(std::move(e));
   }

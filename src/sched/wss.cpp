@@ -3,10 +3,11 @@
 namespace swallow::sched {
 
 fabric::Allocation WssScheduler::schedule(const SchedContext& ctx) {
+  const std::vector<const fabric::Flow*> flows = transmittable_flows(ctx);
   std::vector<double> weights;
-  weights.reserve(ctx.flows.size());
-  for (const fabric::Flow* f : ctx.flows) weights.push_back(f->volume());
-  return fabric::weighted_max_min(ctx.flows, weights, *ctx.fabric);
+  weights.reserve(flows.size());
+  for (const fabric::Flow* f : flows) weights.push_back(f->volume());
+  return fabric::weighted_max_min(flows, weights, *ctx.fabric);
 }
 
 }  // namespace swallow::sched

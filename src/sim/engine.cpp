@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "fabric/degradation.hpp"
+
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +35,18 @@ Metrics run_simulation(const workload::Trace& trace,
   if (config.slice <= 0) throw std::invalid_argument("sim: non-positive slice");
   if (fabric.num_ports() < trace.num_ports)
     throw std::invalid_argument("sim: fabric smaller than trace needs");
+
+  // ---- Dynamic fabric degradation. ----
+  // `live` is the engine's mutable view of the fabric: nominal capacities
+  // scaled by the degradation schedule's per-port multipliers. Schedulers,
+  // the Eq. 3 compression gate and the feasibility check all read `live`,
+  // so every decision is priced against what the ports can carry *now*.
+  // With degradation off the multipliers stay at 1 and `live` is
+  // numerically identical to the caller's fabric.
+  const fabric::DegradationSchedule degrade(config.degradation,
+                                            fabric.num_ports());
+  const bool degrade_on = degrade.enabled();
+  fabric::Fabric live = fabric;
 
   // ---- Build flow/coflow state (ids are dense indices). ----
   std::vector<fabric::Flow> flows;
@@ -106,6 +120,10 @@ Metrics run_simulation(const workload::Trace& trace,
   bool coflow_event = true;  // arrival/coflow-completion since last schedule
   int stalled = 0;
   obs::Sink* const sink = config.sink;
+  DegradationStats dstats;
+  // Flows that have been covered by at least one allocation: a beta change
+  // before the first decision is not a "flip".
+  std::vector<char> decided(flows.size(), 0);
   // Cold, out-of-line trace emitters: the Args machinery stays off the
   // slice/round hot paths, which see only a null test when no sink is set.
   struct ColdEmit {
@@ -161,6 +179,25 @@ Metrics run_simulation(const workload::Trace& trace,
                             .add("coflow", coflow)
                             .str());
     }
+    [[gnu::noinline, gnu::cold]] static void capacity_change(
+        obs::Sink* sink, common::Seconds when, std::int64_t port,
+        double old_multiplier, double new_multiplier, double ingress_bps,
+        double egress_bps) {
+      obs::emit_instant(sink, obs::sim_ts(when), "capacity_change", "fabric",
+                        obs::Args()
+                            .add("port", port)
+                            .add("old_multiplier", old_multiplier)
+                            .add("multiplier", new_multiplier)
+                            .add("ingress_bps", ingress_bps)
+                            .add("egress_bps", egress_bps)
+                            .str());
+      if (new_multiplier == 0.0)
+        obs::emit_instant(sink, obs::sim_ts(when), "link_down", "fabric",
+                          obs::Args().add("port", port).str());
+      else if (old_multiplier == 0.0)
+        obs::emit_instant(sink, obs::sim_ts(when), "link_up", "fabric",
+                          obs::Args().add("port", port).str());
+    }
     [[gnu::noinline, gnu::cold]] static void compression_done(
         obs::Sink* sink, common::Seconds now, std::int64_t flow,
         std::int64_t coflow, common::Bytes compressed) {
@@ -174,6 +211,33 @@ Metrics run_simulation(const workload::Trace& trace,
   };
   std::uint64_t round = 0;   // scheduling rounds, for trace correlation
   std::uint64_t slices = 0;  // advanced slices, reported via the registry
+
+  // Samples the degradation schedule at `now` and applies any changed port
+  // multipliers to the live fabric. Capacity changes are first-class
+  // preemption points: they force a scheduling round and count as coflow
+  // events so Pseudocode 3's priority escalation ages stalled coflows.
+  auto apply_capacity = [&](common::Seconds now) {
+    for (fabric::PortId p = 0; p < live.num_ports(); ++p) {
+      const double m = degrade.multiplier_at(p, now);
+      const double prev = live.port_multiplier(p);
+      if (m == prev) continue;
+      live.set_port_multiplier(p, m);
+      ++dstats.capacity_changes;
+      if (m == 0.0) ++dstats.link_failures;
+      need_schedule = true;
+      coflow_event = true;
+      if (sink != nullptr) [[unlikely]]
+        ColdEmit::capacity_change(sink, now, std::int64_t(p), prev, m,
+                                  live.ingress_capacity(p),
+                                  live.egress_capacity(p));
+    }
+  };
+  common::Seconds next_capacity_change =
+      std::numeric_limits<common::Seconds>::infinity();
+  if (degrade_on) {
+    apply_capacity(t);  // an episode may already cover the first arrival
+    next_capacity_change = degrade.next_change_after(t);
+  }
 
   // Marks a flow finished at `when`, updating its coflow when it was the
   // last one out.
@@ -213,7 +277,7 @@ Metrics run_simulation(const workload::Trace& trace,
 
   auto build_context = [&]() {
     sched::SchedContext ctx;
-    ctx.fabric = &fabric;
+    ctx.fabric = &live;
     ctx.cpu = &cpu;
     ctx.now = t;
     ctx.slice = config.slice;
@@ -229,6 +293,13 @@ Metrics run_simulation(const workload::Trace& trace,
 
   while (completed < coflows.size()) {
     if (t > config.max_time) throw SimError("sim: exceeded max_time");
+
+    // Apply capacity changes due by this boundary. Sampling the schedule's
+    // absolute state at `t` also catches up after idle-time jumps.
+    if (degrade_on && next_capacity_change <= t + kTiny) {
+      apply_capacity(t);
+      next_capacity_change = degrade.next_change_after(t);
+    }
 
     // Activate arrivals due by now.
     while (next_arrival < arrival_order.size() &&
@@ -263,19 +334,27 @@ Metrics run_simulation(const workload::Trace& trace,
         obs::ProfileScope scope(sink, "sim.schedule");
         alloc = sched.schedule(ctx);
       }
-      if (config.validate_allocations && !feasible(alloc, ctx.flows, fabric))
+      if (config.validate_allocations && !feasible(alloc, ctx.flows, live))
         throw SimError("sim: scheduler " + sched.name() +
                        " violated port capacities");
       for (const fabric::Flow* f : ctx.flows) {
         const double new_rate = alloc.rate(f->id);
+        const bool new_compress = alloc.compress(f->id);
         // A flow that loses its bandwidth mid-life (without switching to
         // compression) was preempted by a shorter coflow.
         if (sink != nullptr && rate[f->id] > kTiny && new_rate <= kTiny &&
-            !alloc.compress(f->id)) [[unlikely]]
+            !new_compress) [[unlikely]]
           ColdEmit::preemption(sink, t, std::int64_t(f->id),
                                std::int64_t(coflows[f->coflow].trace_id));
+        // An Eq. 3 decision that reversed while raw volume remains: the
+        // bottleneck B moved across the R_eff * (1 - xi) threshold (both
+        // directions happen under brownouts and recoveries).
+        if (decided[f->id] && (compress[f->id] != 0) != new_compress &&
+            f->raw_remaining > fabric::kVolumeEpsilon)
+          ++dstats.compression_flips;
+        decided[f->id] = 1;
         rate[f->id] = new_rate;
-        compress[f->id] = alloc.compress(f->id) ? 1 : 0;
+        compress[f->id] = new_compress ? 1 : 0;
       }
       need_schedule = false;
       coflow_event = false;
@@ -289,6 +368,8 @@ Metrics run_simulation(const workload::Trace& trace,
     obs::ProfileScope advance_scope(sink, "sim.advance", "prof",
                                     /*emit_events=*/false);
     double progress = 0.0;
+    std::uint64_t stalled_this_slice = 0;
+    const bool any_port_degraded = degrade_on && live.degraded();
     for (const std::size_t ci : active) {
       SimCoflow& sc = coflows[ci];
       for (const fabric::FlowId fid : sc.state.flows) {
@@ -324,7 +405,15 @@ Metrics run_simulation(const workload::Trace& trace,
         }
 
         const double r = rate[fid];
-        if (r <= kTiny) continue;
+        if (r <= kTiny) {
+          // Rate zero on a zero-capacity port is a stall, not starvation:
+          // the flow accrues waiting time until the link recovers.
+          if (any_port_degraded &&
+              std::min(live.ingress_capacity(f.src),
+                       live.egress_capacity(f.dst)) <= 0.0)
+            ++stalled_this_slice;
+          continue;
+        }
         const common::Bytes budget = r * config.slice;
         const common::Bytes volume = f.volume();
         if (volume <= budget + kTiny) {
@@ -362,10 +451,17 @@ Metrics run_simulation(const workload::Trace& trace,
                                 }),
                  active.end());
 
+    dstats.stalled_flow_slices += stalled_this_slice;
     if (progress <= kTiny && !active.empty()) {
-      if (++stalled > kMaxStalledSlices)
+      if (stalled_this_slice > 0 && std::isfinite(next_capacity_change)) {
+        // Every idle flow is pinned behind a failed link and the schedule
+        // holds a future capacity change: a legitimate stall that must not
+        // trip the deadlock detector (max_time still backstops the run).
+        stalled = 0;
+      } else if (++stalled > kMaxStalledSlices) {
         throw SimError("sim: no progress for too long (scheduler " +
                        sched.name() + " deadlocked?)");
+      }
     } else {
       stalled = 0;
     }
@@ -378,11 +474,24 @@ Metrics run_simulation(const workload::Trace& trace,
   if (sink != nullptr) {
     sink->registry().gauge("sim.slices").set(static_cast<double>(slices));
     sink->registry().gauge("sim.sim_time_s").set(t);
+    if (degrade_on) {
+      sink->registry()
+          .counter("sim.capacity_changes")
+          .add(dstats.capacity_changes);
+      sink->registry().counter("sim.link_failures").add(dstats.link_failures);
+      sink->registry()
+          .counter("sim.stalled_flow_slices")
+          .add(dstats.stalled_flow_slices);
+      sink->registry()
+          .counter("sim.compression_flips")
+          .add(dstats.compression_flips);
+    }
   }
 
   // ---- Emit records. ----
   Metrics metrics;
   metrics.utilization = std::move(samples);
+  metrics.degradation = dstats;
   metrics.flows.reserve(flows.size());
   for (const auto& f : flows) {
     FlowRecord rec;

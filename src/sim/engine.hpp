@@ -16,6 +16,7 @@
 
 #include "codec/codec_model.hpp"
 #include "cpu/cpu_model.hpp"
+#include "fabric/degradation.hpp"
 #include "fabric/fabric.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/metrics.hpp"
@@ -49,6 +50,17 @@ struct SimConfig {
   /// whole slice it finishes in ("waste of time slices", Section VI-A1).
   /// Fig. 7(c) is reproduced with this on; default off for exact metrics.
   bool quantize_completions = false;
+  /// Dynamic fabric degradation (link failures, brownouts, flapping).
+  /// Disabled by default (rate = 0): the engine then never copies or
+  /// mutates port capacities and its output is byte-identical to the
+  /// static-fabric path. When enabled, capacity-change instants become
+  /// first-class preemption points: at the first slice boundary at or past
+  /// each change the engine re-applies the schedule's port multipliers,
+  /// re-runs the scheduler (re-evaluating every Eq. 3 compression gate and
+  /// the Gamma ranks against *current* capacities) and re-allocates rates.
+  /// Capacity changes count as coflow events, so Pseudocode 3's priority
+  /// escalation ages coflows pinned behind a failed link.
+  fabric::DegradationConfig degradation;
   /// Observability sink (obs::Tracer or custom). When set, the engine
   /// emits arrival/completion/preemption/scheduling-round trace events and
   /// wall-clock profiles of the schedule/advance phases, and the scheduler

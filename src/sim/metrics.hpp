@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/cdf.hpp"
@@ -56,11 +57,25 @@ struct UtilizationSample {
   double egress_utilization = 0;  ///< wire bytes moved / fabric capacity
 };
 
+/// What the fabric degradation layer did to a run (all zero when
+/// SimConfig::degradation is disabled). Mirrored into the obs registry as
+/// sim.capacity_changes / sim.link_failures / sim.stalled_flow_slices /
+/// sim.compression_flips when a sink is attached.
+struct DegradationStats {
+  std::uint64_t capacity_changes = 0;    ///< port multiplier transitions
+  std::uint64_t link_failures = 0;       ///< transitions to multiplier == 0
+  std::uint64_t stalled_flow_slices = 0; ///< (flow, slice) pairs stuck on a
+                                         ///< zero-capacity port
+  std::uint64_t compression_flips = 0;   ///< beta decisions that reversed
+                                         ///< after the flow's first slice
+};
+
 class Metrics {
  public:
   std::vector<FlowRecord> flows;
   std::vector<CoflowRecord> coflows;
   std::vector<UtilizationSample> utilization;
+  DegradationStats degradation;
 
   double avg_fct() const;
   double avg_cct() const;

@@ -1,14 +1,113 @@
 #include "workload/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace swallow::workload {
+
+TraceParseError::TraceParseError(std::size_t line, const std::string& message)
+    : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+      line_(line) {}
+
+namespace {
+
+/// Ports/coflows/flows above this are treated as overflow: a corrupt count
+/// must fail the parse instead of driving a multi-gigabyte reserve().
+constexpr std::size_t kMaxCount = 1u << 24;
+
+/// Non-negative integer with full-token and overflow validation.
+std::size_t parse_count_token(std::size_t line, const char* context,
+                              const char* what, const std::string& token,
+                              std::size_t max) {
+  if (token.empty() || token[0] == '-')
+    throw TraceParseError(line, std::string(context) + ": negative " + what +
+                                    " '" + token + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || end == token.c_str())
+    throw TraceParseError(line, std::string(context) + ": malformed " + what +
+                                    " '" + token + "'");
+  if (errno == ERANGE || v > max)
+    throw TraceParseError(line, std::string(context) + ": " + what +
+                                    " overflows '" + token + "'");
+  return static_cast<std::size_t>(v);
+}
+
+/// Finite double with full-token validation (rejects NaN/inf/overflow).
+double parse_finite_token(std::size_t line, const char* context,
+                          const char* what, const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str())
+    throw TraceParseError(line, std::string(context) + ": malformed " + what +
+                                    " '" + token + "'");
+  if (errno == ERANGE || !std::isfinite(v))
+    throw TraceParseError(line, std::string(context) + ": non-finite " + what +
+                                    " '" + token + "'");
+  return v;
+}
+
+/// Whitespace-token reader that tracks the 1-based line of the token it
+/// last produced, so every validation error can name its source line.
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& in) : in_(in) {}
+
+  std::size_t line() const { return line_; }
+
+  /// Next token, or throws naming `what` as the missing field.
+  std::string next(const char* context, const char* what) {
+    std::string token;
+    while (!(line_stream_ >> token)) {
+      if (!std::getline(in_, buffer_))
+        throw TraceParseError(line_, std::string(context) +
+                                         ": truncated input, expected " + what);
+      ++line_;
+      line_stream_.clear();
+      line_stream_.str(buffer_);
+    }
+    return token;
+  }
+
+  std::size_t next_count(const char* context, const char* what,
+                         std::size_t max = kMaxCount) {
+    return parse_count_token(line_, context, what, next(context, what), max);
+  }
+
+  double next_finite(const char* context, const char* what) {
+    return parse_finite_token(line_, context, what, next(context, what));
+  }
+
+  fabric::PortId next_port(const char* context, const char* what,
+                           std::size_t num_ports) {
+    const std::size_t p = next_count(context, what, kMaxCount);
+    if (p >= num_ports)
+      throw TraceParseError(line_, std::string(context) + ": " + what + " " +
+                                       std::to_string(p) +
+                                       " out of range [0, " +
+                                       std::to_string(num_ports) + ")");
+    return static_cast<fabric::PortId>(p);
+  }
+
+ private:
+  std::istream& in_;
+  std::string buffer_;
+  std::istringstream line_stream_;
+  std::size_t line_ = 0;
+};
+
+}  // namespace
 
 common::Bytes CoflowSpec::total_bytes() const {
   common::Bytes total = 0;
@@ -42,32 +141,41 @@ void Trace::sort_by_arrival() {
 }
 
 Trace parse_trace(std::istream& in) {
+  TokenReader reader(in);
   Trace trace;
-  std::size_t num_coflows = 0;
-  if (!(in >> trace.num_ports >> num_coflows))
-    throw std::runtime_error("trace: missing header");
-  if (trace.num_ports == 0) throw std::runtime_error("trace: zero ports");
+  trace.num_ports = reader.next_count("trace", "num_ports");
+  if (trace.num_ports == 0)
+    throw TraceParseError(reader.line(), "trace: zero ports");
+  const std::size_t num_coflows = reader.next_count("trace", "num_coflows");
 
+  std::unordered_set<fabric::CoflowId> seen_ids;
   trace.coflows.reserve(num_coflows);
   for (std::size_t i = 0; i < num_coflows; ++i) {
     CoflowSpec coflow;
-    double arrival_ms = 0;
-    std::size_t num_flows = 0;
-    if (!(in >> coflow.id >> arrival_ms >> coflow.job >> num_flows))
-      throw std::runtime_error("trace: truncated coflow header");
-    if (arrival_ms < 0) throw std::runtime_error("trace: negative arrival");
-    if (num_flows == 0) throw std::runtime_error("trace: coflow with no flows");
+    coflow.id = reader.next_count("trace", "coflow id",
+                                  std::numeric_limits<std::size_t>::max());
+    if (!seen_ids.insert(coflow.id).second)
+      throw TraceParseError(reader.line(), "trace: duplicate coflow id " +
+                                               std::to_string(coflow.id));
+    const double arrival_ms = reader.next_finite("trace", "arrival");
+    if (arrival_ms < 0)
+      throw TraceParseError(reader.line(), "trace: negative arrival");
     coflow.arrival = arrival_ms / 1000.0;
+    coflow.job = reader.next_count("trace", "job id",
+                                   std::numeric_limits<std::size_t>::max());
+    const std::size_t num_flows = reader.next_count("trace", "num_flows");
+    if (num_flows == 0)
+      throw TraceParseError(reader.line(), "trace: coflow with no flows");
     coflow.flows.reserve(num_flows);
     for (std::size_t j = 0; j < num_flows; ++j) {
       FlowSpec flow;
-      int compressible = 1;
-      if (!(in >> flow.src >> flow.dst >> flow.bytes >> compressible))
-        throw std::runtime_error("trace: truncated flow record");
-      if (flow.src >= trace.num_ports || flow.dst >= trace.num_ports)
-        throw std::runtime_error("trace: port out of range");
-      if (flow.bytes <= 0) throw std::runtime_error("trace: non-positive flow size");
-      flow.compressible = compressible != 0;
+      flow.src = reader.next_port("trace", "src port", trace.num_ports);
+      flow.dst = reader.next_port("trace", "dst port", trace.num_ports);
+      flow.bytes = reader.next_finite("trace", "flow size");
+      if (flow.bytes <= 0)
+        throw TraceParseError(reader.line(), "trace: non-positive flow size");
+      flow.compressible =
+          reader.next_count("trace", "compressible flag", 1) != 0;
       coflow.flows.push_back(flow);
     }
     trace.coflows.push_back(std::move(coflow));
@@ -94,52 +202,66 @@ void write_trace(std::ostream& out, const Trace& trace) {
 }
 
 Trace parse_facebook_trace(std::istream& in) {
+  TokenReader reader(in);
   Trace trace;
-  std::size_t num_jobs = 0;
-  if (!(in >> trace.num_ports >> num_jobs))
-    throw std::runtime_error("fb-trace: missing header");
-  if (trace.num_ports == 0) throw std::runtime_error("fb-trace: zero racks");
+  trace.num_ports = reader.next_count("fb-trace", "num_racks");
+  if (trace.num_ports == 0)
+    throw TraceParseError(reader.line(), "fb-trace: zero racks");
+  const std::size_t num_jobs = reader.next_count("fb-trace", "num_jobs");
 
+  // The published trace is 1-based; tolerate 0-based too.
+  auto parse_rack = [&](std::size_t rack) {
+    if (rack >= 1 && rack <= trace.num_ports)
+      return static_cast<fabric::PortId>(rack - 1);
+    if (rack < trace.num_ports) return static_cast<fabric::PortId>(rack);
+    throw TraceParseError(reader.line(), "fb-trace: rack " +
+                                             std::to_string(rack) +
+                                             " out of range");
+  };
+
+  std::unordered_set<fabric::CoflowId> seen_ids;
   trace.coflows.reserve(num_jobs);
   for (std::size_t j = 0; j < num_jobs; ++j) {
     CoflowSpec coflow;
-    double arrival_ms = 0;
-    std::size_t num_mappers = 0;
-    if (!(in >> coflow.id >> arrival_ms >> num_mappers))
-      throw std::runtime_error("fb-trace: truncated job header");
+    coflow.id = reader.next_count("fb-trace", "job id",
+                                  std::numeric_limits<std::size_t>::max());
+    if (!seen_ids.insert(coflow.id).second)
+      throw TraceParseError(reader.line(), "fb-trace: duplicate job id " +
+                                               std::to_string(coflow.id));
     coflow.job = coflow.id;
+    const double arrival_ms = reader.next_finite("fb-trace", "arrival");
+    if (arrival_ms < 0)
+      throw TraceParseError(reader.line(), "fb-trace: negative arrival");
     coflow.arrival = arrival_ms / 1000.0;
-    if (num_mappers == 0) throw std::runtime_error("fb-trace: no mappers");
-
-    auto parse_rack = [&](long rack) {
-      // The published trace is 1-based; tolerate 0-based too.
-      if (rack >= 1 && static_cast<std::size_t>(rack) <= trace.num_ports)
-        return static_cast<fabric::PortId>(rack - 1);
-      if (rack >= 0 && static_cast<std::size_t>(rack) < trace.num_ports)
-        return static_cast<fabric::PortId>(rack);
-      throw std::runtime_error("fb-trace: rack out of range");
-    };
+    const std::size_t num_mappers =
+        reader.next_count("fb-trace", "mapper count");
+    if (num_mappers == 0)
+      throw TraceParseError(reader.line(), "fb-trace: no mappers");
 
     std::vector<fabric::PortId> mappers(num_mappers);
-    for (auto& m : mappers) {
-      long rack = 0;
-      if (!(in >> rack)) throw std::runtime_error("fb-trace: truncated mappers");
-      m = parse_rack(rack);
-    }
+    for (auto& m : mappers)
+      m = parse_rack(reader.next_count("fb-trace", "mapper rack"));
 
-    std::size_t num_reducers = 0;
-    if (!(in >> num_reducers) || num_reducers == 0)
-      throw std::runtime_error("fb-trace: bad reducer count");
+    const std::size_t num_reducers =
+        reader.next_count("fb-trace", "reducer count");
+    if (num_reducers == 0)
+      throw TraceParseError(reader.line(), "fb-trace: bad reducer count");
     for (std::size_t r = 0; r < num_reducers; ++r) {
-      std::string token;
-      if (!(in >> token)) throw std::runtime_error("fb-trace: truncated reducers");
+      const std::string token = reader.next("fb-trace", "reducer record");
       const auto colon = token.find(':');
       if (colon == std::string::npos)
-        throw std::runtime_error("fb-trace: reducer missing ':' in " + token);
-      const fabric::PortId dst = parse_rack(std::stol(token.substr(0, colon)));
-      const double total_mb = std::stod(token.substr(colon + 1));
+        throw TraceParseError(reader.line(),
+                              "fb-trace: reducer missing ':' in " + token);
+      const fabric::PortId dst =
+          parse_rack(parse_count_token(reader.line(), "fb-trace",
+                                       "reducer rack", token.substr(0, colon),
+                                       kMaxCount));
+      const double total_mb =
+          parse_finite_token(reader.line(), "fb-trace", "shuffle size",
+                             token.substr(colon + 1));
       if (total_mb <= 0)
-        throw std::runtime_error("fb-trace: non-positive shuffle size");
+        throw TraceParseError(reader.line(),
+                              "fb-trace: non-positive shuffle size");
       const common::Bytes per_mapper =
           total_mb * common::kMB / static_cast<double>(num_mappers);
       for (const fabric::PortId src : mappers)

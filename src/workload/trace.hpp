@@ -10,7 +10,9 @@
 //   ...
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,18 @@
 #include "fabric/coflow.hpp"
 
 namespace swallow::workload {
+
+/// Typed parse failure naming the 1-based input line it was detected on.
+/// Derives from std::runtime_error, so pre-existing catch sites keep
+/// working; new code can catch the typed form and report `line()`.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::size_t line, const std::string& message);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
 
 struct FlowSpec {
   fabric::PortId src = 0;
@@ -56,8 +70,10 @@ struct Trace {
   void sort_by_arrival();
 };
 
-/// Parses the text format above; throws std::runtime_error on malformed
-/// input (negative sizes, ports out of range, truncated blocks).
+/// Parses the text format above; throws TraceParseError (a
+/// std::runtime_error) naming the offending line on malformed input:
+/// truncated blocks, non-numeric tokens, NaN/infinite/negative/overflowing
+/// sizes or arrivals, ports outside [0, num_ports), duplicate coflow ids.
 Trace parse_trace(std::istream& in);
 Trace parse_trace_file(const std::string& path);
 

@@ -1,0 +1,395 @@
+// Fabric degradation tests: determinism of the seeded schedule, config
+// validation, the engine's capacity-change preemption points, and the
+// robustness properties the layer guarantees — every scheduler finishes
+// every coflow under failures/brownouts, starved coflows escalate through
+// Pseudocode 3, and a disabled schedule leaves the static path untouched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/online.hpp"
+#include "fabric/degradation.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "sim/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace swallow {
+namespace {
+
+fabric::DegradationConfig issue_config() {
+  // The acceptance scenario: episodes on 1% of (port, epoch) cells; when
+  // one fires it is a failure a quarter of the time and otherwise mostly
+  // a brownout near half of nominal.
+  fabric::DegradationConfig config;
+  config.rate = 0.01;
+  config.seed = 42;
+  config.brownout_floor = 0.4;
+  config.brownout_ceiling = 0.6;
+  return config;
+}
+
+fabric::DegradationConfig heavy_config(std::uint64_t seed) {
+  // Aggressive schedule used by the completion property: failures are
+  // frequent and long relative to the workload, so every scheduler sees
+  // stalled flows, recoveries and mid-coflow capacity jumps.
+  fabric::DegradationConfig config;
+  config.rate = 0.25;
+  config.seed = seed;
+  config.failure_fraction = 0.5;
+  config.epoch = 0.5;
+  config.min_duration = 0.1;
+  config.max_duration = 0.8;
+  return config;
+}
+
+workload::Trace small_trace(std::uint64_t seed) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 6;
+  gen.num_coflows = 12;
+  gen.mean_interarrival = 0.3;
+  gen.size_lo = 1e5;
+  gen.size_hi = 5e7;
+  gen.size_alpha = 0.3;
+  gen.width_hi = 4;
+  gen.seed = seed;
+  return workload::generate_trace(gen);
+}
+
+std::vector<std::string> all_scheduler_names() {
+  std::vector<std::string> names = sched::baseline_names();
+  names.insert(names.end(), {"FVDF", "FVDF-NC", "FVDF-NOUPGRADE",
+                             "FVDF-NOBACKFILL", "FVDF-BLIND"});
+  return names;
+}
+
+TEST(DegradationSchedule, DisabledIsIdentity) {
+  const fabric::DegradationSchedule schedule({}, 4);
+  EXPECT_FALSE(schedule.enabled());
+  for (fabric::PortId p = 0; p < 4; ++p)
+    for (double t = 0; t < 20.0; t += 0.7)
+      EXPECT_DOUBLE_EQ(schedule.multiplier_at(p, t), 1.0);
+  EXPECT_TRUE(std::isinf(schedule.next_change_after(0.0)));
+}
+
+TEST(DegradationSchedule, RejectsInvalidConfigs) {
+  auto make = [](auto mutate) {
+    fabric::DegradationConfig config = issue_config();
+    mutate(config);
+    return fabric::DegradationSchedule(config, 4);
+  };
+  EXPECT_THROW(make([](auto& c) { c.rate = -0.1; }), std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.rate = 1.5; }), std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.epoch = 0; }), std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.min_duration = -1; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.max_duration = 0.01; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.failure_fraction = 2.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.flap_fraction = 0.9; }),
+               std::invalid_argument);  // fractions sum past 1
+  EXPECT_THROW(make([](auto& c) { c.brownout_floor = 0.8; }),
+               std::invalid_argument);  // floor above ceiling
+  EXPECT_THROW(make([](auto& c) { c.brownout_ceiling = 1.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](auto& c) { c.flap_half_period = 0; }),
+               std::invalid_argument);
+}
+
+TEST(DegradationSchedule, DeterministicAndOrderIndependent) {
+  const fabric::DegradationSchedule a(heavy_config(7), 8);
+  const fabric::DegradationSchedule b(heavy_config(7), 8);
+
+  // Same seed: identical multipliers. `a` is queried forward in time and
+  // `b` backward, so agreement also proves query-order independence.
+  std::vector<double> times;
+  for (double t = 0.0; t <= 10.0; t += 0.13) times.push_back(t);
+  std::vector<double> forward, backward;
+  for (const double t : times)
+    for (fabric::PortId p = 0; p < 8; ++p)
+      forward.push_back(a.multiplier_at(p, t));
+  for (auto it = times.rbegin(); it != times.rend(); ++it)
+    for (fabric::PortId p = 8; p-- > 0;)
+      backward.push_back(b.multiplier_at(p, *it));
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+
+  // Different seed: the schedules diverge somewhere.
+  const fabric::DegradationSchedule c(heavy_config(8), 8);
+  bool differs = false;
+  for (double t = 0; t < 10.0 && !differs; t += 0.13)
+    for (fabric::PortId p = 0; p < 8 && !differs; ++p)
+      differs = a.multiplier_at(p, t) != c.multiplier_at(p, t);
+  EXPECT_TRUE(differs);
+}
+
+TEST(DegradationSchedule, MultiplierConstantBetweenChanges) {
+  const fabric::DegradationSchedule schedule(heavy_config(3), 4);
+  double t = 0.0;
+  for (int step = 0; step < 50; ++step) {
+    const double next = schedule.next_change_after(t);
+    ASSERT_GT(next, t);
+    if (!std::isfinite(next)) break;
+    // Sample strictly inside (t, next): every port must hold its value.
+    const double mid = t + (next - t) * 0.5;
+    const double late = t + (next - t) * 0.99;
+    for (fabric::PortId p = 0; p < 4; ++p) {
+      const double m = schedule.multiplier_at(p, std::nextafter(
+                                                     t, std::numeric_limits<
+                                                            double>::max()));
+      EXPECT_DOUBLE_EQ(schedule.multiplier_at(p, mid), m);
+      EXPECT_DOUBLE_EQ(schedule.multiplier_at(p, late), m);
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    t = next;
+  }
+}
+
+TEST(DegradationSchedule, EpisodesMatchMultipliers) {
+  const fabric::DegradationSchedule schedule(heavy_config(11), 6);
+  bool saw_failure = false, saw_brownout = false;
+  for (fabric::PortId p = 0; p < 6; ++p) {
+    for (const auto& e : schedule.episodes(p, 0.0, 30.0)) {
+      EXPECT_LT(e.start, e.end);
+      if (e.kind == fabric::DegradationKind::kFailure) {
+        saw_failure = true;
+        EXPECT_DOUBLE_EQ(e.multiplier, 0.0);
+      } else {
+        saw_brownout = true;
+        EXPECT_GT(e.multiplier, 0.0);
+        EXPECT_LT(e.multiplier, 1.0);
+      }
+      // At the episode midpoint the port is degraded at least this far
+      // (flaps may be in a healthy half-period; skip those).
+      if (e.kind != fabric::DegradationKind::kFlap) {
+        const double mid = 0.5 * (e.start + e.end);
+        EXPECT_LE(schedule.multiplier_at(p, mid), e.multiplier + 1e-12);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_brownout);
+}
+
+// The acceptance property: under seeded degradation every scheduler in the
+// registry completes every coflow — no hangs (bounded sim time), no
+// capacity violations (validate_allocations stays on), no negative
+// remaining volume (completion implies fully drained), sane timestamps.
+TEST(DegradationEngine, EverySchedulerCompletesUnderDegradation) {
+  const workload::Trace trace = small_trace(5);
+  const fabric::Fabric fabric(trace.num_ports, 50.0 * 1024 * 1024);
+  const cpu::ConstantCpu cpu(0.9);
+
+  sim::SimConfig config;
+  config.slice = 0.01;
+  config.codec = &codec::default_codec_model();
+  config.degradation = heavy_config(13);
+  config.max_time = 3600.0;  // a hang fails the test instead of CI
+
+  for (const std::string& name : all_scheduler_names()) {
+    SCOPED_TRACE(name);
+    const auto scheduler = sim::make_scheduler(name);
+    const sim::Metrics m =
+        sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+    ASSERT_EQ(m.coflows.size(), trace.coflows.size());
+    for (const auto& c : m.coflows) {
+      EXPECT_TRUE(std::isfinite(c.completion));
+      EXPECT_GE(c.cct(), 0.0);
+    }
+    for (const auto& f : m.flows) {
+      EXPECT_TRUE(std::isfinite(f.completion));
+      EXPECT_GE(f.fct(), 0.0);
+      EXPECT_GE(f.wire_bytes, 0.0);
+      EXPECT_LE(f.wire_bytes, f.original_bytes + 1.0);
+    }
+    EXPECT_GT(m.degradation.capacity_changes, 0u);
+  }
+}
+
+// Lighter acceptance config (the ISSUE's 1% rate): degradation must perturb
+// but not distort — the run completes and the stats land in Metrics.
+TEST(DegradationEngine, IssueRateCompletesAndCounts) {
+  const workload::Trace trace = small_trace(9);
+  const fabric::Fabric fabric(trace.num_ports, 50.0 * 1024 * 1024);
+  const cpu::ConstantCpu cpu(0.9);
+
+  sim::SimConfig config;
+  config.slice = 0.01;
+  config.codec = &codec::default_codec_model();
+  config.degradation = issue_config();
+  config.max_time = 3600.0;
+
+  // At a 1% rate most seeds see no episode inside this short workload;
+  // deterministically pick the first seed whose schedule degrades some
+  // port early enough to overlap the run.
+  for (std::uint64_t seed = 1; seed <= 256; ++seed) {
+    config.degradation.seed = seed;
+    const fabric::DegradationSchedule probe(config.degradation,
+                                            trace.num_ports);
+    bool early = false;
+    for (fabric::PortId p = 0; p < trace.num_ports && !early; ++p)
+      early = !probe.episodes(p, 0.0, 2.0).empty();
+    if (early) break;
+  }
+
+  const auto scheduler = sim::make_scheduler("FVDF");
+  const sim::Metrics m =
+      sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+  EXPECT_EQ(m.coflows.size(), trace.coflows.size());
+  EXPECT_GT(m.degradation.capacity_changes, 0u);
+}
+
+// Starvation freedom under failures: with flows pinned behind failing
+// links, FVDF's Pseudocode 3 upgrade must fire (observable through the
+// metrics registry) and the stalled coflows must still complete.
+TEST(DegradationEngine, StarvedCoflowsEscalateAndComplete) {
+  const workload::Trace trace = small_trace(21);
+  const fabric::Fabric fabric(trace.num_ports, 50.0 * 1024 * 1024);
+  const cpu::ConstantCpu cpu(0.9);
+
+  fabric::DegradationConfig degrade = heavy_config(17);
+  degrade.failure_fraction = 1.0;  // every episode kills the link outright
+  degrade.flap_fraction = 0.0;
+
+  sim::SimConfig config;
+  config.slice = 0.01;
+  config.codec = &codec::default_codec_model();
+  config.degradation = degrade;
+  config.max_time = 3600.0;
+
+  obs::Tracer tracer;
+  config.sink = &tracer;
+
+  const auto scheduler = sim::make_scheduler("FVDF");
+  const sim::Metrics m =
+      sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+  EXPECT_EQ(m.coflows.size(), trace.coflows.size());
+  EXPECT_GT(m.degradation.link_failures, 0u);
+  EXPECT_GT(m.degradation.stalled_flow_slices, 0u);
+  EXPECT_GT(tracer.registry().counter("fvdf.priority_upgrades").value(), 0u);
+  EXPECT_EQ(tracer.registry().counter("sim.link_failures").value(),
+            m.degradation.link_failures);
+  EXPECT_EQ(tracer.registry().counter("sim.stalled_flow_slices").value(),
+            m.degradation.stalled_flow_slices);
+}
+
+// Eq. 3 re-evaluation: LZ4 at 0.9 headroom breaks even near 267 MB/s, so
+// on a 400 MB/s fabric browning out to ~50% the compression gate crosses in
+// both directions. The engine must re-run the strategy at capacity changes
+// and count the reversals.
+TEST(DegradationEngine, BrownoutsFlipCompressionDecisions) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 4;
+  gen.num_coflows = 10;
+  gen.mean_interarrival = 0.4;
+  gen.size_lo = 5e7;  // large flows: still in flight when a brownout lands
+  gen.size_hi = 4e8;
+  gen.size_alpha = 0.3;
+  gen.width_hi = 3;
+  gen.seed = 31;
+  const workload::Trace trace = workload::generate_trace(gen);
+
+  const fabric::Fabric fabric(trace.num_ports, 400.0 * 1e6);
+  const cpu::ConstantCpu cpu(0.9);
+
+  fabric::DegradationConfig degrade;
+  degrade.rate = 0.5;
+  degrade.seed = 19;
+  degrade.failure_fraction = 0.0;  // brownouts only: cross the gate, not 0
+  degrade.flap_fraction = 0.0;
+  degrade.epoch = 0.5;
+  degrade.min_duration = 0.2;
+  degrade.max_duration = 0.6;
+  degrade.brownout_floor = 0.4;
+  degrade.brownout_ceiling = 0.6;
+
+  sim::SimConfig config;
+  config.slice = 0.01;
+  config.codec = &codec::default_codec_model();
+  config.degradation = degrade;
+  config.max_time = 3600.0;
+
+  const auto scheduler = sim::make_scheduler("FVDF");
+  const sim::Metrics m =
+      sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+  EXPECT_EQ(m.coflows.size(), trace.coflows.size());
+  EXPECT_GT(m.degradation.capacity_changes, 0u);
+  EXPECT_GT(m.degradation.compression_flips, 0u);
+}
+
+// A/B guard: rate = 0 must be byte-identical to the static-fabric path —
+// identical completion timestamps, wire bytes and record order, with every
+// degradation counter at zero.
+TEST(DegradationEngine, ZeroRateIsByteIdenticalToStaticPath) {
+  const workload::Trace trace = small_trace(3);
+  const fabric::Fabric fabric(trace.num_ports, 50.0 * 1024 * 1024);
+  const cpu::ConstantCpu cpu(0.9);
+
+  sim::SimConfig static_config;
+  static_config.slice = 0.01;
+  static_config.codec = &codec::default_codec_model();
+
+  sim::SimConfig zero_config = static_config;
+  zero_config.degradation.rate = 0.0;
+  zero_config.degradation.seed = 999;  // must not matter at rate 0
+
+  for (const std::string& name : {std::string("FVDF"), std::string("SEBF"),
+                                  std::string("FIFO")}) {
+    SCOPED_TRACE(name);
+    const auto a_sched = sim::make_scheduler(name);
+    const auto b_sched = sim::make_scheduler(name);
+    const sim::Metrics a =
+        sim::run_simulation(trace, fabric, cpu, *a_sched, static_config);
+    const sim::Metrics b =
+        sim::run_simulation(trace, fabric, cpu, *b_sched, zero_config);
+
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t i = 0; i < a.flows.size(); ++i) {
+      EXPECT_EQ(a.flows[i].id, b.flows[i].id);
+      EXPECT_EQ(a.flows[i].completion, b.flows[i].completion);  // bit-exact
+      EXPECT_EQ(a.flows[i].wire_bytes, b.flows[i].wire_bytes);
+    }
+    ASSERT_EQ(a.coflows.size(), b.coflows.size());
+    for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+      EXPECT_EQ(a.coflows[i].id, b.coflows[i].id);
+      EXPECT_EQ(a.coflows[i].completion, b.coflows[i].completion);
+      EXPECT_EQ(a.coflows[i].wire_bytes, b.coflows[i].wire_bytes);
+    }
+    EXPECT_EQ(b.degradation.capacity_changes, 0u);
+    EXPECT_EQ(b.degradation.link_failures, 0u);
+    EXPECT_EQ(b.degradation.stalled_flow_slices, 0u);
+    EXPECT_EQ(b.degradation.compression_flips, 0u);
+  }
+}
+
+// Degradation must bite: under the heavy schedule the same workload takes
+// longer than on the pristine fabric (sanity check that multipliers
+// actually reach the allocator).
+TEST(DegradationEngine, DegradationSlowsTheWorkload) {
+  const workload::Trace trace = small_trace(5);
+  const fabric::Fabric fabric(trace.num_ports, 50.0 * 1024 * 1024);
+  const cpu::ConstantCpu cpu(0.9);
+
+  sim::SimConfig config;
+  config.slice = 0.01;
+  config.codec = &codec::default_codec_model();
+  config.max_time = 3600.0;
+
+  const auto a_sched = sim::make_scheduler("FVDF");
+  const sim::Metrics pristine =
+      sim::run_simulation(trace, fabric, cpu, *a_sched, config);
+
+  config.degradation = heavy_config(13);
+  const auto b_sched = sim::make_scheduler("FVDF");
+  const sim::Metrics degraded =
+      sim::run_simulation(trace, fabric, cpu, *b_sched, config);
+
+  EXPECT_GT(degraded.avg_cct(), pristine.avg_cct());
+}
+
+}  // namespace
+}  // namespace swallow

@@ -2,6 +2,8 @@
 // bookkeeping, and the coflow aggregate helpers (bottleneck, width, volume).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fabric/coflow.hpp"
 #include "fabric/fabric.hpp"
 
@@ -32,6 +34,51 @@ TEST(Fabric, RejectsInvalidConfigs) {
   EXPECT_THROW(Fabric(Caps{1.0}, Caps{1.0, 2.0}), std::invalid_argument);
   EXPECT_THROW(Fabric(Caps{0.0}, Caps{1.0}), std::invalid_argument);
   EXPECT_THROW(Fabric(Caps{}, Caps{}), std::invalid_argument);
+}
+
+TEST(Fabric, RejectsNonFiniteCapacities) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Fabric(2, nan), std::invalid_argument);
+  EXPECT_THROW(Fabric(2, inf), std::invalid_argument);
+  EXPECT_THROW(Fabric(2, -5.0), std::invalid_argument);
+  using Caps = std::vector<common::Bps>;
+  EXPECT_THROW(Fabric(Caps{1.0, nan}, Caps{1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric(Caps{1.0, 1.0}, Caps{inf, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric(Caps{1.0, -1.0}, Caps{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Fabric, PortMultiplierScalesCurrentNotNominal) {
+  Fabric f({10.0, 20.0}, {30.0, 5.0});
+  EXPECT_FALSE(f.degraded());
+  f.set_port_multiplier(1, 0.5);
+  EXPECT_TRUE(f.degraded());
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(1), 10.0);
+  EXPECT_DOUBLE_EQ(f.egress_capacity(1), 2.5);
+  EXPECT_DOUBLE_EQ(f.nominal_ingress_capacity(1), 20.0);
+  EXPECT_DOUBLE_EQ(f.nominal_egress_capacity(1), 5.0);
+  EXPECT_DOUBLE_EQ(f.port_multiplier(1), 0.5);
+  // Port 0 untouched; min_capacity reports the nominal (config-time) min.
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(0), 10.0);
+  EXPECT_DOUBLE_EQ(f.min_capacity(), 5.0);
+
+  f.set_port_multiplier(1, 0.0);  // full link failure
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(1), 0.0);
+  f.restore_all();
+  EXPECT_FALSE(f.degraded());
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(1), 20.0);
+}
+
+TEST(Fabric, RejectsInvalidMultipliers) {
+  Fabric f(2, 10.0);
+  EXPECT_THROW(f.set_port_multiplier(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(f.set_port_multiplier(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(
+      f.set_port_multiplier(0, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(f.set_port_multiplier(5, 0.5), std::out_of_range);
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(0), 10.0);  // state unchanged
 }
 
 TEST(Flow, VolumeIsRawPlusCompressed) {

@@ -1,0 +1,191 @@
+// Trace parser fuzzing: mutated and corrupted inputs must either parse or
+// throw a typed TraceParseError — never crash, never hang, never silently
+// accept NaN/negative/overflowing values, and every rejection must name a
+// plausible source line.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace swallow::workload {
+namespace {
+
+const char* kValidTrace =
+    "4 2\n"
+    "0 0.0 0 2\n"
+    "0 1 1000 1\n"
+    "1 2 2000 0\n"
+    "1 50.0 1 1\n"
+    "2 3 500 1\n";
+
+const char* kValidFbTrace =
+    "4 2\n"
+    "1 0.0 2 1 2 2 3:10 4:5\n"
+    "2 100.0 1 3 1 2:8\n";
+
+Trace parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+Trace parse_fb(const std::string& text) {
+  std::istringstream in(text);
+  return parse_facebook_trace(in);
+}
+
+TEST(TraceFuzz, ValidTracesParse) {
+  const Trace t = parse(kValidTrace);
+  EXPECT_EQ(t.num_ports, 4u);
+  EXPECT_EQ(t.coflows.size(), 2u);
+  EXPECT_EQ(t.total_flows(), 3u);
+  const Trace fb = parse_fb(kValidFbTrace);
+  EXPECT_EQ(fb.num_ports, 4u);
+  EXPECT_EQ(fb.coflows.size(), 2u);
+  EXPECT_EQ(fb.total_flows(), 5u);  // 2 mappers x 2 reducers + 1 x 1
+}
+
+TEST(TraceFuzz, RejectsNonFiniteSizes) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "1e999"}) {
+    SCOPED_TRACE(bad);
+    const std::string text =
+        "4 1\n0 0.0 0 1\n0 1 " + std::string(bad) + " 1\n";
+    EXPECT_THROW(parse(text), TraceParseError);
+  }
+}
+
+TEST(TraceFuzz, RejectsNegativeAndZeroSizes) {
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n0 1 -5 1\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n0 1 0 1\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 0.0 1 1 1 2:-3\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 0.0 1 1 1 2:nan\n"), TraceParseError);
+}
+
+TEST(TraceFuzz, RejectsNegativeArrival) {
+  EXPECT_THROW(parse("4 1\n0 -1.0 0 1\n0 1 10 1\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 -1.0 1 1 1 2:8\n"), TraceParseError);
+}
+
+TEST(TraceFuzz, RejectsOutOfRangePorts) {
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n4 1 10 1\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n0 9 10 1\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n-1 1 10 1\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 0.0 1 5 1 2:8\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 0.0 1 1 1 9:8\n"), TraceParseError);
+}
+
+TEST(TraceFuzz, RejectsDuplicateCoflowIds) {
+  EXPECT_THROW(
+      parse("4 2\n7 0.0 0 1\n0 1 10 1\n7 1.0 1 1\n1 2 20 1\n"),
+      TraceParseError);
+  EXPECT_THROW(parse_fb("4 2\n3 0.0 1 1 1 2:8\n3 1.0 1 2 1 3:8\n"),
+               TraceParseError);
+}
+
+TEST(TraceFuzz, RejectsOverflowingCounts) {
+  // Counts past the reserve guard must fail the parse, not allocate.
+  EXPECT_THROW(parse("4 99999999999999999999\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 123456789012345678901\n"),
+               TraceParseError);
+  EXPECT_THROW(parse("99999999999 1\n0 0.0 0 1\n0 1 10 1\n"),
+               TraceParseError);
+}
+
+TEST(TraceFuzz, RejectsMalformedTokens) {
+  EXPECT_THROW(parse("four 2\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 zero 0 1\n0 1 10 1\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n0 1 10 maybe\n"), TraceParseError);
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1\n0 1 10 2\n"), TraceParseError);
+  EXPECT_THROW(parse_fb("4 1\n1 0.0 1 1 1 28\n"), TraceParseError);  // no ':'
+}
+
+TEST(TraceFuzz, ErrorsNameTheOffendingLine) {
+  try {
+    parse("4 1\n0 0.0 0 1\n0 1 nan 1\n");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  try {
+    parse("4 2\n7 0.0 0 1\n0 1 10 1\n7 1.0 1 1\n1 2 20 1\n");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
+TEST(TraceFuzz, TruncationAlwaysThrows) {
+  const std::string text(kValidTrace);
+  // Every proper prefix that drops at least one token must throw (a prefix
+  // ending exactly at a coflow boundary is impossible here because the
+  // header promises two coflows).
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut)
+    EXPECT_THROW(parse(text.substr(0, cut)), std::runtime_error)
+        << "prefix length " << cut;
+}
+
+// Random single-token mutations: replace one token with garbage drawn from
+// a pool of hostile values. The parser must either accept (mutation made a
+// still-valid trace) or throw TraceParseError — never crash or hang.
+TEST(TraceFuzz, SingleTokenMutationsNeverCrash) {
+  const char* pool[] = {"nan",  "inf",    "-inf", "1e999", "-1",
+                        "",     "x",      "0x10", "1.5.2", "--3",
+                        "1e-999999", "18446744073709551616",
+                        ":", "2:", ":5", "2:nan"};
+  for (const char* base : {kValidTrace, kValidFbTrace}) {
+    const bool fb = base == kValidFbTrace;
+    std::istringstream split(base);
+    std::vector<std::string> tokens;
+    for (std::string tok; split >> tok;) tokens.push_back(tok);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      for (const char* garbage : pool) {
+        std::string text;
+        for (std::size_t j = 0; j < tokens.size(); ++j) {
+          text += j == i ? garbage : tokens[j].c_str();
+          text += j % 4 == 3 ? '\n' : ' ';
+        }
+        SCOPED_TRACE("token " + std::to_string(i) + " -> '" + garbage + "'");
+        try {
+          fb ? parse_fb(text) : parse(text);
+        } catch (const TraceParseError&) {
+          // rejection is fine; crash/hang/other exceptions are not
+        }
+      }
+    }
+  }
+}
+
+// Random byte corruption over the whole file: flip, delete or insert bytes
+// at seeded random offsets. Same contract: parse or TraceParseError.
+TEST(TraceFuzz, RandomByteCorruptionNeverCrashes) {
+  common::Rng rng(1234);
+  const std::string base(kValidTrace);
+  const char charset[] = "0123456789.-: abc\n\t";
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = base;
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      if (text.empty()) break;
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_int(0, text.size() - 1));
+      const char c = charset[rng.uniform_int(0, sizeof(charset) - 2)];
+      switch (rng.uniform_int(0, 2)) {
+        case 0: text[pos] = c; break;
+        case 1: text.erase(pos, 1); break;
+        default: text.insert(pos, 1, c); break;
+      }
+    }
+    try {
+      parse(text);
+    } catch (const TraceParseError&) {
+      // expected for most corruptions
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swallow::workload
