@@ -1,0 +1,192 @@
+// bench_engine_hot: hot-path microbenchmark of the simulation engine.
+//
+// Same-binary A/B: runs the identical trace battery under
+// EngineMode::kEventDriven and EngineMode::kSliceStepped, checks the two
+// produce bit-identical headline metrics (the parity contract of DESIGN.md
+// section 10), and reports the wall-clock speedup of the fast-forward
+// engine. Then measures run_batch scaling by replaying the event-mode
+// battery serially and across the work-stealing pool.
+//
+// Flags: --coflows=N (trace size, default 40), --runs=N (battery size,
+// default 6), --threads=N (pool width, default hardware), --seed=N.
+// With SWALLOW_BENCH_JSON set, appends a JSON line of gauges
+// (engine.event_ms, engine.slice_ms, engine.speedup, batch.serial_ms,
+// batch.parallel_ms, batch.scaling) consumed by
+// tools/check_bench_regression.py.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/run_batch.hpp"
+
+using namespace swallow;
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double avg_cct = 0;
+  double avg_fct = 0;
+  double wire_bytes = 0;
+  double makespan = 0;
+};
+
+struct BenchKnobs {
+  double bandwidth_mbps = 100;
+  common::Seconds slice = common::kDefaultSlice;
+};
+
+// Long-flow battery: the regime the fast-forward engine exists for. Flow
+// sizes land in [500 MB, 50 GB] so a flow spans thousands of slices
+// between events, unlike the paper_like_trace mix whose median flow fits
+// in one slice.
+workload::Trace hot_trace(std::uint64_t seed, std::size_t num_coflows) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = 12;
+  gen.num_coflows = num_coflows;
+  gen.mean_interarrival = 0.5;
+  gen.size_lo = 5e8;
+  gen.size_hi = 5e10;
+  gen.size_alpha = 0.1;
+  gen.width_lo = 1;
+  gen.width_hi = 5;
+  gen.seed = seed;
+  return workload::generate_trace(gen);
+}
+
+RunResult run_once(const workload::Trace& trace, sim::EngineMode mode,
+                   const BenchKnobs& knobs) {
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(knobs.bandwidth_mbps));
+  const cpu::ConstantCpu cpu(0.9);
+  sim::SimConfig config;
+  config.slice = knobs.slice;
+  config.codec = &codec::default_codec_model();
+  config.engine_mode = mode;
+  auto sched = sim::make_scheduler("FVDF");
+  const sim::Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
+  return {m.avg_cct(), m.avg_fct(), m.total_wire_bytes(), m.makespan()};
+}
+
+bool same(const RunResult& a, const RunResult& b) {
+  return a.avg_cct == b.avg_cct && a.avg_fct == b.avg_fct &&
+         a.wire_bytes == b.wire_bytes && a.makespan == b.makespan;
+}
+
+// Mirrors bench_common's emit_bench_json for a hand-built registry.
+void emit_registry(const obs::Registry& registry) {
+  const char* path = std::getenv("SWALLOW_BENCH_JSON");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "{\"bench\":" << obs::json_quote(bench::current_artifact())
+      << ",\"metrics\":" << registry.to_json() << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  common::apply_log_level_flag(flags);
+  const std::size_t coflows =
+      static_cast<std::size_t>(flags.get_int("coflows", 40));
+  const std::size_t runs = static_cast<std::size_t>(flags.get_int("runs", 6));
+  std::size_t threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  BenchKnobs knobs;
+  knobs.bandwidth_mbps = flags.get_double("bandwidth-mbps", 100);
+  knobs.slice = flags.get_double("slice", common::kDefaultSlice);
+
+  bench::print_header(
+      "bench_engine_hot",
+      "Engine hot path: event-driven fast-forward vs the slice-stepped\n"
+      "reference (same binary, same traces, bit-identical metrics), and\n"
+      "run_batch scaling across the work-stealing pool.");
+
+  std::vector<workload::Trace> traces;
+  traces.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i)
+    traces.push_back(hot_trace(sim::batch_seed(seed, i) % 100000, coflows));
+
+  // --- A/B: event vs slice, serial, alternating to spread cache effects.
+  std::vector<RunResult> event_results(runs), slice_results(runs);
+  double event_ms = 0, slice_ms = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    double t0 = now_ms();
+    event_results[i] = run_once(traces[i], sim::EngineMode::kEventDriven, knobs);
+    event_ms += now_ms() - t0;
+    t0 = now_ms();
+    slice_results[i] = run_once(traces[i], sim::EngineMode::kSliceStepped, knobs);
+    slice_ms += now_ms() - t0;
+  }
+  bool parity = true;
+  for (std::size_t i = 0; i < runs; ++i)
+    if (!same(event_results[i], slice_results[i])) parity = false;
+  const double speedup = event_ms > 0 ? slice_ms / event_ms : 0;
+
+  common::Table ab({"mode", "wall ms", "ms/run", "speedup"});
+  ab.add_row({"slice-stepped", common::fmt_double(slice_ms, 1),
+          common::fmt_double(slice_ms / runs, 2), "1.0x"});
+  ab.add_row({"event-driven", common::fmt_double(event_ms, 1),
+          common::fmt_double(event_ms / runs, 2),
+          common::fmt_speedup(speedup)});
+  ab.print(std::cout);
+  std::cout << "parity: " << (parity ? "OK (bit-identical metrics)" : "FAIL")
+            << "\n\n";
+
+  // --- run_batch scaling: the same event-mode battery, serial vs pool.
+  auto batch_job = [&](std::size_t i) {
+    return run_once(traces[i % runs], sim::EngineMode::kEventDriven, knobs);
+  };
+  const std::size_t jobs = runs * 4;  // enough work to keep the pool busy
+  sim::BatchOptions serial;
+  serial.threads = 1;
+  sim::BatchOptions pool;
+  pool.threads = threads;
+  double t0 = now_ms();
+  const auto serial_out = sim::run_batch(jobs, batch_job, serial);
+  const double serial_ms = now_ms() - t0;
+  t0 = now_ms();
+  const auto pool_out = sim::run_batch(jobs, batch_job, pool);
+  const double pool_ms = now_ms() - t0;
+  bool batch_ok = true;
+  for (std::size_t i = 0; i < jobs; ++i)
+    if (!same(serial_out[i], pool_out[i])) batch_ok = false;
+  const double scaling = pool_ms > 0 ? serial_ms / pool_ms : 0;
+
+  common::Table bt({"run_batch", "jobs", "wall ms", "scaling"});
+  bt.add_row({"1 thread", std::to_string(jobs), common::fmt_double(serial_ms, 1),
+          "1.0x"});
+  bt.add_row({std::to_string(threads) + " threads", std::to_string(jobs),
+          common::fmt_double(pool_ms, 1), common::fmt_speedup(scaling)});
+  bt.print(std::cout);
+  std::cout << "batch determinism: " << (batch_ok ? "OK" : "FAIL")
+            << " (pool results identical to serial)\n";
+
+  obs::Registry registry;
+  registry.gauge("engine.event_ms").set(event_ms);
+  registry.gauge("engine.slice_ms").set(slice_ms);
+  registry.gauge("engine.speedup").set(speedup);
+  registry.gauge("batch.serial_ms").set(serial_ms);
+  registry.gauge("batch.parallel_ms").set(pool_ms);
+  registry.gauge("batch.scaling").set(scaling);
+  registry.gauge("batch.threads").set(static_cast<double>(threads));
+  emit_registry(registry);
+
+  return parity && batch_ok ? 0 : 1;
+}

@@ -7,7 +7,13 @@
 // the reproduction behaves when that assumption is dropped: the run must
 // stay correct (every coflow completes under every rate) and inflation
 // should grow smoothly with the rate, not cliff.
+//
+// The sweep points are independent simulations, so they run on
+// sim::run_batch (--threads=N, default hardware); results land in rate
+// order regardless of thread count, so the table and JSON output are
+// byte-identical to the old serial loop.
 #include "bench_common.hpp"
+#include "sim/run_batch.hpp"
 
 int main(int argc, char** argv) {
   using namespace swallow;
@@ -17,6 +23,8 @@ int main(int argc, char** argv) {
   const auto degrade_seed =
       static_cast<std::uint64_t>(flags.get_int("degrade_seed", 11));
   const std::string name = flags.get("scheduler", "FVDF");
+  sim::BatchOptions batch;
+  batch.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
 
   bench::print_header(
       "Extension - fabric degradation cost (JCT inflation vs episode rate)",
@@ -27,58 +35,74 @@ int main(int argc, char** argv) {
   const fabric::Fabric fabric(trace.num_ports, common::mbps(100));
   const cpu::ConstantCpu cpu(0.9);
 
-  const double rates[] = {0.0, 0.01, 0.05, 0.1, 0.25};
+  const std::vector<double> rates = {0.0, 0.01, 0.05, 0.1, 0.25};
+
+  struct SweepPoint {
+    double jct = 0;
+    double cct = 0;
+    bool completed = false;
+    sim::DegradationStats stats;
+  };
+  const std::vector<SweepPoint> points = sim::run_batch(
+      rates.size(),
+      [&](std::size_t i) {
+        sim::SimConfig config;
+        config.codec = &codec::default_codec_model();
+        config.degradation.rate = rates[i];
+        config.degradation.seed = degrade_seed;
+        config.degradation.failure_fraction = 0.25;
+        config.max_time = 36000.0;
+
+        const auto scheduler = sim::make_scheduler(name);
+        const sim::Metrics m =
+            sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+        SweepPoint p;
+        p.jct = m.avg_jct();
+        p.cct = m.avg_cct();
+        p.completed = m.coflows.size() == trace.coflows.size();
+        p.stats = m.degradation;
+        return p;
+      },
+      batch);
 
   common::Table table({"episode rate", "avg JCT", "JCT inflation", "avg CCT",
                        "CCT inflation", "cap changes", "failures",
                        "stalled slices", "beta flips"});
   obs::Registry registry;
-  double baseline_jct = 0, baseline_cct = 0;
+  const double baseline_jct = points[0].jct;
+  const double baseline_cct = points[0].cct;
   bool all_completed = true;
-  for (const double rate : rates) {
-    sim::SimConfig config;
-    config.codec = &codec::default_codec_model();
-    config.degradation.rate = rate;
-    config.degradation.seed = degrade_seed;
-    config.degradation.failure_fraction = 0.25;
-    config.max_time = 36000.0;
-
-    const auto scheduler = sim::make_scheduler(name);
-    const sim::Metrics m =
-        sim::run_simulation(trace, fabric, cpu, *scheduler, config);
-    if (m.coflows.size() != trace.coflows.size()) all_completed = false;
-
-    const double jct = m.avg_jct();
-    const double cct = m.avg_cct();
-    if (rate == 0.0) {
-      baseline_jct = jct;
-      baseline_cct = cct;
-    }
-    const double jct_inflation = baseline_jct > 0 ? jct / baseline_jct : 1.0;
-    const double cct_inflation = baseline_cct > 0 ? cct / baseline_cct : 1.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const SweepPoint& p = points[i];
+    if (!p.completed) all_completed = false;
+    const double jct_inflation =
+        baseline_jct > 0 ? p.jct / baseline_jct : 1.0;
+    const double cct_inflation =
+        baseline_cct > 0 ? p.cct / baseline_cct : 1.0;
     table.add_row({common::fmt_percent(rate),
-                   common::fmt_double(jct, 3) + " s",
+                   common::fmt_double(p.jct, 3) + " s",
                    common::fmt_speedup(jct_inflation),
-                   common::fmt_double(cct, 3) + " s",
+                   common::fmt_double(p.cct, 3) + " s",
                    common::fmt_speedup(cct_inflation),
-                   std::to_string(m.degradation.capacity_changes),
-                   std::to_string(m.degradation.link_failures),
-                   std::to_string(m.degradation.stalled_flow_slices),
-                   std::to_string(m.degradation.compression_flips)});
+                   std::to_string(p.stats.capacity_changes),
+                   std::to_string(p.stats.link_failures),
+                   std::to_string(p.stats.stalled_flow_slices),
+                   std::to_string(p.stats.compression_flips)});
 
     const std::string prefix = "rate_" + common::fmt_percent(rate);
-    registry.gauge(prefix + ".avg_jct_s").set(jct);
+    registry.gauge(prefix + ".avg_jct_s").set(p.jct);
     registry.gauge(prefix + ".jct_inflation").set(jct_inflation);
-    registry.gauge(prefix + ".avg_cct_s").set(cct);
+    registry.gauge(prefix + ".avg_cct_s").set(p.cct);
     registry.gauge(prefix + ".cct_inflation").set(cct_inflation);
     registry.gauge(prefix + ".capacity_changes")
-        .set(static_cast<double>(m.degradation.capacity_changes));
+        .set(static_cast<double>(p.stats.capacity_changes));
     registry.gauge(prefix + ".link_failures")
-        .set(static_cast<double>(m.degradation.link_failures));
+        .set(static_cast<double>(p.stats.link_failures));
     registry.gauge(prefix + ".stalled_flow_slices")
-        .set(static_cast<double>(m.degradation.stalled_flow_slices));
+        .set(static_cast<double>(p.stats.stalled_flow_slices));
     registry.gauge(prefix + ".compression_flips")
-        .set(static_cast<double>(m.degradation.compression_flips));
+        .set(static_cast<double>(p.stats.compression_flips));
   }
   table.print(std::cout);
   std::cout << (all_completed

@@ -5,8 +5,13 @@
 // "what does Swallow's recovery machinery charge for surviving them":
 // target <= 2x JCT inflation at a 1% per-block fault rate, with zero data
 // corruption (every job's payloads still verify).
+//
+// Each sweep point owns its cluster, so the rates run concurrently on
+// sim::run_batch (--threads=N, default hardware) with output identical to
+// the serial sweep.
 #include "bench_common.hpp"
 #include "runtime/shuffle.hpp"
+#include "sim/run_batch.hpp"
 
 int main(int argc, char** argv) {
   using namespace swallow;
@@ -14,16 +19,18 @@ int main(int argc, char** argv) {
   const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 6));
   const auto fault_seed =
       static_cast<std::uint64_t>(flags.get_int("fault_seed", 7));
+  sim::BatchOptions batch;
+  batch.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
 
   bench::print_header(
       "Extension - fault injection cost (JCT inflation, traffic overhead)",
       "Recovery budget: <= 2x JCT inflation at 1% per-block fault rate, "
       "zero corruption");
 
-  const double rates[] = {0.0, 0.005, 0.01, 0.02, 0.05};
+  const std::vector<double> rates = {0.0, 0.005, 0.01, 0.02, 0.05};
 
-  auto run_batch = [&](double rate, std::size_t& wire, std::size_t& raw,
-                       runtime::FaultStats& stats) {
+  auto run_sweep_point = [&](double rate, std::size_t& wire,
+                             std::size_t& raw, runtime::FaultStats& stats) {
     runtime::ClusterConfig config;
     config.num_workers = 4;
     config.nic_rate = 64.0 * 1024 * 1024;
@@ -60,21 +67,33 @@ int main(int argc, char** argv) {
     return jct / static_cast<double>(jobs);
   };
 
+  struct SweepPoint {
+    double jct = 0;
+    std::size_t wire = 0;
+    std::size_t raw = 0;
+    runtime::FaultStats stats;
+  };
+  const std::vector<SweepPoint> points = sim::run_batch(
+      rates.size(),
+      [&](std::size_t i) {
+        SweepPoint p;
+        p.jct = run_sweep_point(rates[i], p.wire, p.raw, p.stats);
+        return p;
+      },
+      batch);
+
   common::Table table({"fault rate", "mean JCT", "JCT inflation",
                        "traffic overhead", "injected", "retransmits",
                        "degraded flows"});
   obs::Registry registry;
-  double baseline_jct = 0;
-  std::size_t baseline_wire = 0;
+  const double baseline_jct = points[0].jct;
+  const std::size_t baseline_wire = points[0].wire;
   bool budget_met = true;
-  for (const double rate : rates) {
-    std::size_t wire = 0, raw = 0;
-    runtime::FaultStats stats;
-    const double jct = run_batch(rate, wire, raw, stats);
-    if (rate == 0.0) {
-      baseline_jct = jct;
-      baseline_wire = wire;
-    }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const double jct = points[i].jct;
+    const std::size_t wire = points[i].wire;
+    const runtime::FaultStats& stats = points[i].stats;
     const double inflation = baseline_jct > 0 ? jct / baseline_jct : 1.0;
     const double overhead =
         baseline_wire > 0

@@ -1,10 +1,22 @@
 // Microbenchmarks (google-benchmark) for the scheduling hot paths: the
 // rate solvers and each scheduler's full decision on a loaded fabric, plus
-// an end-to-end engine run. These bound how short a real deployment's
-// scheduling slice could be (the paper discusses 10 ms).
+// an end-to-end engine run (in both engine modes). These bound how short a
+// real deployment's scheduling slice could be (the paper discusses 10 ms).
+//
+// With SWALLOW_BENCH_JSON set, appends one JSON line mapping each
+// benchmark to its per-iteration real time in ms, in the same format the
+// run_all-based benches emit — tools/check_bench_regression.py consumes it.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "cpu/cpu_model.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -74,7 +86,7 @@ void BM_MaxMinFair(benchmark::State& state) {
   }
 }
 
-void BM_EngineRun(benchmark::State& state) {
+void BM_EngineRun(benchmark::State& state, sim::EngineMode mode) {
   workload::GeneratorConfig gen;
   gen.num_ports = 16;
   gen.num_coflows = static_cast<std::size_t>(state.range(0));
@@ -87,6 +99,7 @@ void BM_EngineRun(benchmark::State& state) {
   const cpu::ConstantCpu cpu(0.9);
   sim::SimConfig config;
   config.codec = &codec::default_codec_model();
+  config.engine_mode = mode;
   for (auto _ : state) {
     auto sched = sim::make_scheduler("FVDF");
     const sim::Metrics m =
@@ -104,8 +117,49 @@ BENCHMARK_CAPTURE(BM_SchedulerDecision, PFF, "PFF")
 BENCHMARK_CAPTURE(BM_SchedulerDecision, AALO, "AALO")
     ->Arg(32)->Arg(256)->MinTime(0.05);
 BENCHMARK(BM_MaxMinFair)->Arg(32)->Arg(256)->MinTime(0.05);
-BENCHMARK(BM_EngineRun)->Arg(20)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_EngineRun, event, sim::EngineMode::kEventDriven)
+    ->Arg(20)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_EngineRun, slice, sim::EngineMode::kSliceStepped)
+    ->Arg(20)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+/// Console output as usual, plus one (name, per-iteration real ms) record
+/// per run for the JSON trail.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      const double ms = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e3;
+      results_.emplace_back(run.benchmark_name(), ms);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const char* path = std::getenv("SWALLOW_BENCH_JSON");
+  if (path == nullptr) return 0;
+  swallow::obs::Registry registry;
+  for (const auto& [name, ms] : reporter.results())
+    registry.gauge(name + ".real_ms").set(ms);
+  std::ofstream out(path, std::ios::app);
+  if (out)
+    out << "{\"bench\":\"bench_sim_micro\",\"metrics\":"
+        << registry.to_json() << "}\n";
+  return 0;
+}

@@ -68,20 +68,37 @@ namespace {
 std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
                                              bool online,
                                              bool force_compression) {
-  // Group unfinished flows by coflow id.
+  // Group unfinished flows by coflow. The engine hands the grouping over in
+  // coflow_flow_offsets (it walks coflow-by-coflow anyway), so the common
+  // path is a flat slice per coflow; hand-built contexts without offsets
+  // fall back to the historical hash-map rebuild.
   std::unordered_map<fabric::CoflowId, std::vector<const fabric::Flow*>>
       by_coflow;
-  for (const fabric::Flow* f : ctx.flows)
-    if (!f->done()) by_coflow[f->coflow].push_back(f);
+  const bool grouped = ctx.grouped();
+  if (!grouped) {
+    for (const fabric::Flow* f : ctx.flows)
+      if (!f->done()) by_coflow[f->coflow].push_back(f);
+  }
 
   std::vector<CoflowEstimate> estimates;
   estimates.reserve(ctx.coflows.size());
-  for (fabric::Coflow* c : ctx.coflows) {
-    const auto it = by_coflow.find(c->id);
-    if (it == by_coflow.end()) continue;
+  for (std::size_t ci = 0; ci < ctx.coflows.size(); ++ci) {
+    fabric::Coflow* c = ctx.coflows[ci];
     CoflowEstimate est;
+    if (grouped) {
+      const std::size_t begin = ctx.coflow_flow_offsets[ci];
+      const std::size_t end = ctx.coflow_flow_offsets[ci + 1];
+      if (begin == end) continue;
+      est.flows.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        if (!ctx.flows[i]->done()) est.flows.push_back(ctx.flows[i]);
+      if (est.flows.empty()) continue;
+    } else {
+      const auto it = by_coflow.find(c->id);
+      if (it == by_coflow.end()) continue;
+      est.flows = it->second;
+    }
     est.coflow = c;
-    est.flows = it->second;
     est.beta.reserve(est.flows.size());
 
     for (const fabric::Flow* f : est.flows) {

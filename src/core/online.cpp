@@ -49,11 +49,18 @@ fabric::Allocation FvdfScheduler::schedule(const sched::SchedContext& ctx) {
     }
   }
 
-  sched::SchedContext local = ctx;
-  if (!options_.compression) local.codec = nullptr;
-  const fabric::Allocation alloc =
-      fvdf_allocate(local, options_.online, options_.backfill,
-                    options_.force_compression);
+  // Nulling the codec needs a mutable view; avoid copying the context's
+  // flow/coflow vectors on the common compression-enabled path.
+  fabric::Allocation alloc;
+  if (options_.compression) {
+    alloc = fvdf_allocate(ctx, options_.online, options_.backfill,
+                          options_.force_compression);
+  } else {
+    sched::SchedContext local = ctx;
+    local.codec = nullptr;
+    alloc = fvdf_allocate(local, options_.online, options_.backfill,
+                          options_.force_compression);
+  }
 
   starved_.clear();
   for (const fabric::Coflow* c : ctx.coflows) starved_.insert(c->id);

@@ -1,12 +1,20 @@
 #include "cpu/cpu_model.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace swallow::cpu {
 
 bool CpuProvider::can_compress(NodeId node, common::Seconds t) const {
   return headroom(node, t) >= kMinCompressionHeadroom;
+}
+
+common::Seconds CpuProvider::headroom_constant_until(NodeId,
+                                                     common::Seconds t) const {
+  // No promise: unknown providers may vary arbitrarily, so the engine must
+  // resample headroom at every slice (the historical behavior).
+  return t;
 }
 
 ConstantCpu::ConstantCpu(double headroom) : headroom_(headroom) {
@@ -16,6 +24,11 @@ ConstantCpu::ConstantCpu(double headroom) : headroom_(headroom) {
 
 double ConstantCpu::headroom(NodeId, common::Seconds) const {
   return headroom_;
+}
+
+common::Seconds ConstantCpu::headroom_constant_until(NodeId,
+                                                     common::Seconds) const {
+  return std::numeric_limits<common::Seconds>::infinity();
 }
 
 WindowedCpu::WindowedCpu(std::vector<Window> windows, double idle_headroom,
@@ -32,6 +45,21 @@ double WindowedCpu::headroom(NodeId, common::Seconds t) const {
   for (const auto& w : windows_)
     if (t >= w.begin && t < w.end) return idle_headroom_;
   return busy_headroom_;
+}
+
+common::Seconds WindowedCpu::headroom_constant_until(NodeId,
+                                                     common::Seconds t) const {
+  // Inside a window headroom holds until the window ends; outside it holds
+  // until the earliest window begin after t (windows may be unsorted and
+  // overlap, so scan them all).
+  common::Seconds until = std::numeric_limits<common::Seconds>::infinity();
+  for (const auto& w : windows_) {
+    if (t >= w.begin && t < w.end)
+      until = std::min(until, w.end);
+    else if (w.begin > t)
+      until = std::min(until, w.begin);
+  }
+  return until;
 }
 
 BurstyCpu::BurstyCpu(const Config& config) : config_(config) {
@@ -80,6 +108,18 @@ double BurstyCpu::headroom(NodeId node, common::Seconds t) const {
     return config_.idle_fraction * config_.idle_headroom +
            (1.0 - config_.idle_fraction) * config_.busy_headroom;
   return it->idle ? config_.idle_headroom : config_.busy_headroom;
+}
+
+common::Seconds BurstyCpu::headroom_constant_until(NodeId node,
+                                                   common::Seconds t) const {
+  const auto& bursts = node_schedule(node);
+  const auto it = std::lower_bound(
+      bursts.begin(), bursts.end(), t,
+      [](const Burst& b, common::Seconds when) { return b.end <= when; });
+  // Past the horizon headroom is the constant steady-state expectation.
+  if (it == bursts.end())
+    return std::numeric_limits<common::Seconds>::infinity();
+  return it->end;
 }
 
 double BurstyCpu::measured_idle_fraction(NodeId node) const {

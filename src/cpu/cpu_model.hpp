@@ -25,6 +25,14 @@ class CpuProvider {
   virtual double headroom(NodeId node, common::Seconds t) const = 0;
   /// Paper Pseudocode 1's "CPU resources are enough" gate.
   virtual bool can_compress(NodeId node, common::Seconds t) const;
+  /// Promise to the event-driven engine: headroom(node, s) == headroom(node,
+  /// t) for every s in [t, T) where T is the returned instant. Returning `t`
+  /// (the conservative base default) promises nothing, which makes the
+  /// engine re-evaluate headroom every slice — exactly the slice-stepped
+  /// behavior. Providers with piecewise-constant schedules override this so
+  /// the engine can fast-forward through constant-headroom stretches.
+  virtual common::Seconds headroom_constant_until(NodeId node,
+                                                  common::Seconds t) const;
 };
 
 /// Minimum headroom for the compression gate to open.
@@ -35,6 +43,8 @@ class ConstantCpu final : public CpuProvider {
  public:
   explicit ConstantCpu(double headroom);
   double headroom(NodeId node, common::Seconds t) const override;
+  common::Seconds headroom_constant_until(NodeId node,
+                                          common::Seconds t) const override;
 
  private:
   double headroom_;
@@ -52,6 +62,8 @@ class WindowedCpu final : public CpuProvider {
   WindowedCpu(std::vector<Window> windows, double idle_headroom = 1.0,
               double busy_headroom = 0.0);
   double headroom(NodeId node, common::Seconds t) const override;
+  common::Seconds headroom_constant_until(NodeId node,
+                                          common::Seconds t) const override;
 
  private:
   std::vector<Window> windows_;
@@ -76,6 +88,8 @@ class BurstyCpu final : public CpuProvider {
 
   explicit BurstyCpu(const Config& config);
   double headroom(NodeId node, common::Seconds t) const override;
+  common::Seconds headroom_constant_until(NodeId node,
+                                          common::Seconds t) const override;
 
   /// Measured long-run idle fraction of one node's schedule (for tests).
   double measured_idle_fraction(NodeId node) const;

@@ -9,21 +9,26 @@ namespace swallow::fabric {
 
 void Allocation::set_rate(FlowId id, common::Bps rate) {
   if (rate < 0) throw std::invalid_argument("Allocation: negative rate");
+  if (id >= rates_.size()) {
+    rates_.resize(id + 1, 0.0);
+    rate_set_.resize(id + 1, 0);
+  }
+  if (rate_set_[id] == 0) {
+    rate_set_[id] = 1;
+    ++rate_set_count_;
+  }
   rates_[id] = rate;
 }
 
-common::Bps Allocation::rate(FlowId id) const {
-  const auto it = rates_.find(id);
-  return it == rates_.end() ? 0.0 : it->second;
-}
-
 void Allocation::set_compress(FlowId id, bool enabled) {
-  compress_[id] = enabled;
+  if (id >= compress_.size()) compress_.resize(id + 1, 0);
+  compress_[id] = enabled ? 1 : 0;
 }
 
-bool Allocation::compress(FlowId id) const {
-  const auto it = compress_.find(id);
-  return it != compress_.end() && it->second;
+void Allocation::reserve(std::size_t max_flow_id) {
+  rates_.reserve(max_flow_id);
+  rate_set_.reserve(max_flow_id);
+  compress_.reserve(max_flow_id);
 }
 
 bool feasible(const Allocation& alloc, const std::vector<const Flow*>& flows,
@@ -69,21 +74,26 @@ Allocation weighted_max_min(const std::vector<const Flow*>& flows,
     throw std::invalid_argument("weighted_max_min: weight count mismatch");
   Allocation alloc;
   const std::size_t n = flows.size();
+  const std::size_t ports = fabric.num_ports();
   std::vector<double> rate(n, 0.0);
   std::vector<bool> frozen(n, false);
+
+  // Per-port scratch reused across rounds (the progressive filling loop runs
+  // up to n rounds; reallocating six vectors per round dominated profiles).
+  std::vector<double> in_room(ports), out_room(ports);
+  std::vector<double> in_weight(ports), out_weight(ports);
+  std::vector<double> in_used(ports), out_used(ports);
 
   // Progressive filling: raise every unfrozen flow's rate proportionally to
   // its weight until a port saturates; freeze flows on saturated ports.
   for (std::size_t round = 0; round < n; ++round) {
     // Residual capacity and active weight per port.
-    std::vector<double> in_room(fabric.num_ports());
-    std::vector<double> out_room(fabric.num_ports());
-    for (PortId p = 0; p < fabric.num_ports(); ++p) {
+    for (PortId p = 0; p < ports; ++p) {
       in_room[p] = fabric.ingress_capacity(p);
       out_room[p] = fabric.egress_capacity(p);
     }
-    std::vector<double> in_weight(fabric.num_ports(), 0.0);
-    std::vector<double> out_weight(fabric.num_ports(), 0.0);
+    std::fill(in_weight.begin(), in_weight.end(), 0.0);
+    std::fill(out_weight.begin(), out_weight.end(), 0.0);
     bool any_active = false;
     for (std::size_t i = 0; i < n; ++i) {
       in_room[flows[i]->src] -= rate[i];
@@ -99,7 +109,7 @@ Allocation weighted_max_min(const std::vector<const Flow*>& flows,
 
     // Largest uniform weight-multiplier step before some port saturates.
     double step = std::numeric_limits<double>::infinity();
-    for (PortId p = 0; p < fabric.num_ports(); ++p) {
+    for (PortId p = 0; p < ports; ++p) {
       if (in_weight[p] > 0)
         step = std::min(step, std::max(0.0, in_room[p]) / in_weight[p]);
       if (out_weight[p] > 0)
@@ -111,8 +121,8 @@ Allocation weighted_max_min(const std::vector<const Flow*>& flows,
       if (!frozen[i]) rate[i] += step * std::max(weights[i], 1e-12);
 
     // Freeze flows whose ports just saturated.
-    std::vector<double> in_used(fabric.num_ports(), 0.0);
-    std::vector<double> out_used(fabric.num_ports(), 0.0);
+    std::fill(in_used.begin(), in_used.end(), 0.0);
+    std::fill(out_used.begin(), out_used.end(), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       in_used[flows[i]->src] += rate[i];
       out_used[flows[i]->dst] += rate[i];

@@ -1,7 +1,7 @@
 // Per-slice bandwidth allocations and the rate solvers the schedulers share.
 #pragma once
 
-#include <unordered_map>
+#include <cstddef>
 #include <vector>
 
 #include "fabric/coflow.hpp"
@@ -11,19 +11,35 @@ namespace swallow::fabric {
 
 /// A scheduler's decision for one slice: per-flow transmit rates plus the
 /// per-flow compression switch (paper's beta).
+///
+/// Flow ids are dense indices in the simulation engine, so the tables are
+/// flat vectors indexed by FlowId and grow on demand; rate()/compress() on
+/// an id never set return the documented defaults (0 / false). flow_count()
+/// still reports the number of *distinct* flows given a rate, matching the
+/// historical map-based semantics.
 class Allocation {
  public:
   void set_rate(FlowId id, common::Bps rate);
-  common::Bps rate(FlowId id) const;  ///< 0 if unset
+  common::Bps rate(FlowId id) const {  ///< 0 if unset
+    return id < rates_.size() ? rates_[id] : 0.0;
+  }
 
   void set_compress(FlowId id, bool enabled);
-  bool compress(FlowId id) const;  ///< false if unset
+  bool compress(FlowId id) const {  ///< false if unset
+    return id < compress_.size() && compress_[id] != 0;
+  }
 
-  std::size_t flow_count() const { return rates_.size(); }
+  std::size_t flow_count() const { return rate_set_count_; }
+
+  /// Pre-sizes the tables for flow ids < `max_flow_id` (optional; set_rate
+  /// and set_compress grow on demand either way).
+  void reserve(std::size_t max_flow_id);
 
  private:
-  std::unordered_map<FlowId, common::Bps> rates_;
-  std::unordered_map<FlowId, bool> compress_;
+  std::vector<common::Bps> rates_;
+  std::vector<unsigned char> rate_set_;  ///< 1 iff set_rate() touched the id
+  std::vector<unsigned char> compress_;
+  std::size_t rate_set_count_ = 0;
 };
 
 /// Relative tolerance for capacity feasibility checks.

@@ -26,6 +26,7 @@ std::size_t AaloScheduler::queue_of(common::Bytes sent) const {
 fabric::Allocation AaloScheduler::schedule(const SchedContext& ctx) {
   // Attained service per coflow: bytes already on the wire.
   std::unordered_map<fabric::CoflowId, common::Bytes> sent;
+  sent.reserve(ctx.coflows.size());
   for (const fabric::Flow* f : ctx.flows) sent[f->coflow] += f->sent;
 
   // Order coflows by (queue, arrival, id): strict priority across queues,

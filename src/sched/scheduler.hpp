@@ -32,6 +32,24 @@ struct SchedContext {
   std::vector<const fabric::Flow*> flows;
   /// Arrived, uncompleted coflows. Mutable: FVDF updates priority classes.
   std::vector<fabric::Coflow*> coflows;
+  /// Optional coflow grouping of `flows`: when non-empty it has
+  /// coflows.size() + 1 entries and the unfinished flows of coflows[i] are
+  /// exactly flows[coflow_flow_offsets[i], coflow_flow_offsets[i+1]).
+  /// The simulation engine fills this for free (it already walks coflow by
+  /// coflow), letting core::time_calculation skip its per-round hash-map
+  /// rebuild. Hand-built contexts may leave it empty; consumers must fall
+  /// back to grouping by Flow::coflow themselves.
+  std::vector<std::size_t> coflow_flow_offsets;
+  bool grouped() const {
+    return coflow_flow_offsets.size() == coflows.size() + 1;
+  }
+  /// Resets the per-round vectors while keeping their capacity, so one
+  /// context object can be reused across scheduling rounds.
+  void clear_round() {
+    flows.clear();
+    coflows.clear();
+    coflow_flow_offsets.clear();
+  }
   /// Codec available for compression; nullptr disables compression globally.
   const codec::CodecModel* codec = nullptr;
   /// True when this preemption point is a coflow arrival or completion

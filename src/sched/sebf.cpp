@@ -1,14 +1,15 @@
 #include "sched/sebf.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace swallow::sched {
 
 fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
   struct Entry {
-    fabric::Coflow* coflow;
+    fabric::Coflow* coflow = nullptr;
     std::vector<const fabric::Flow*> flows;
-    common::Seconds gamma;
+    common::Seconds gamma = 0;
   };
 
   // Stalled flows (failed src/dst link) take no allocation and contribute
@@ -16,20 +17,37 @@ fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
   // while the dead port's share waits for recovery.
   const std::vector<const fabric::Flow*> usable = transmittable_flows(ctx);
 
+  // One pass over the flows instead of a per-coflow rescan (the old
+  // coflows x flows nested loop dominated wide traces).
   std::vector<Entry> entries;
   entries.reserve(ctx.coflows.size());
+  std::unordered_map<fabric::CoflowId, std::size_t> entry_of;
+  entry_of.reserve(ctx.coflows.size());
   for (fabric::Coflow* c : ctx.coflows) {
+    entry_of.emplace(c->id, entries.size());
     Entry e;
     e.coflow = c;
-    for (const fabric::Flow* f : usable)
-      if (f->coflow == c->id && !f->done()) e.flows.push_back(f);
-    if (e.flows.empty()) continue;
+    entries.push_back(std::move(e));
+  }
+  for (const fabric::Flow* f : usable) {
+    if (f->done()) continue;
+    const auto it = entry_of.find(f->coflow);
+    if (it != entry_of.end()) entries[it->second].flows.push_back(f);
+  }
+  entries.erase(std::remove_if(
+                    entries.begin(), entries.end(),
+                    [](const Entry& e) { return e.flows.empty(); }),
+                entries.end());
 
-    // Effective bottleneck over remaining volumes, against *current* port
-    // capacities. Zero-capacity ports carry no usable load (stalled flows
-    // were filtered above), so the division is safe to skip.
-    std::vector<common::Bytes> in_load(ctx.fabric->num_ports(), 0.0);
-    std::vector<common::Bytes> out_load(ctx.fabric->num_ports(), 0.0);
+  // Effective bottleneck over remaining volumes, against *current* port
+  // capacities. Zero-capacity ports carry no usable load (stalled flows
+  // were filtered above), so the division is safe to skip. The per-port
+  // scratch is reused across entries.
+  std::vector<common::Bytes> in_load(ctx.fabric->num_ports(), 0.0);
+  std::vector<common::Bytes> out_load(ctx.fabric->num_ports(), 0.0);
+  for (Entry& e : entries) {
+    std::fill(in_load.begin(), in_load.end(), 0.0);
+    std::fill(out_load.begin(), out_load.end(), 0.0);
     for (const fabric::Flow* f : e.flows) {
       in_load[f->src] += f->volume();
       out_load[f->dst] += f->volume();
@@ -41,7 +59,6 @@ fabric::Allocation SebfScheduler::schedule(const SchedContext& ctx) {
       if (in_cap > 0) e.gamma = std::max(e.gamma, in_load[p] / in_cap);
       if (out_cap > 0) e.gamma = std::max(e.gamma, out_load[p] / out_cap);
     }
-    entries.push_back(std::move(e));
   }
 
   std::stable_sort(entries.begin(), entries.end(),

@@ -16,7 +16,8 @@ namespace {
 
 constexpr double kTiny = 1e-12;
 /// Consecutive zero-progress slices tolerated before declaring deadlock.
-constexpr int kMaxStalledSlices = 100000;
+constexpr std::int64_t kMaxStalledSlices = 100000;
+constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
 
 struct SimCoflow {
   fabric::Coflow state;
@@ -24,7 +25,81 @@ struct SimCoflow {
   fabric::JobId job = 0;
   std::size_t unfinished = 0;
   common::Seconds isolation_bound = 0;  ///< CCT with the fabric to itself
+  /// Running max over finalized flow completions, so the last flow out does
+  /// not rescan the whole coflow.
+  common::Seconds completion_max = fabric::kNeverCompleted;
 };
+
+/// Per-flow snapshot taken at a segment boundary. Between two consecutive
+/// fold points (schedule round, CPU-headroom re-evaluation) every rate, beta
+/// and capacity is constant, so a flow's pools after j whole slices are a
+/// pure function of the snapshot and j — the canonical formulas below.
+/// BOTH engine modes evaluate exactly these formulas at exactly the same
+/// boundaries; the event-driven mode merely skips the interior boundaries
+/// where nothing can happen. That is what makes Metrics byte-identical
+/// across modes (DESIGN.md section 10).
+struct FlowSeg {
+  enum Mode : std::uint8_t { kIdle = 0, kTransmit = 1, kCompress = 2,
+                             kBlocked = 3 };
+  double d0 = 0;      ///< raw_remaining at segment start
+  double D0 = 0;      ///< compressed_pending at segment start
+  double sent0 = 0;   ///< sent at segment start
+  double sentc0 = 0;  ///< sent_compressed at segment start
+  double step = 0;    ///< bytes disposed per whole slice
+  double rate = 0;    ///< transmit rate r, or effective compression speed
+  double ratio = 0;   ///< effective compression ratio (compress mode)
+  std::uint64_t event_j = kNoEvent;  ///< first slice index (1-based within
+                                     ///< the segment) with a flow event
+  std::uint64_t epoch = 0;           ///< valid iff == current segment epoch
+  Mode mode = kIdle;
+};
+
+/// Smallest j >= 1 with pred(j), for a monotone predicate (geometric
+/// expansion then binary search). Saturates at 2^62 when pred never holds
+/// in range — callers treat that as "no event".
+template <typename Pred>
+std::uint64_t first_true(Pred&& pred) {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+  std::uint64_t lo = 1, hi = 1;
+  while (!pred(hi)) {
+    lo = hi + 1;
+    if (hi >= kCap) return kCap;
+    hi *= 2;
+  }
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) hi = mid;
+    else lo = mid + 1;
+  }
+  return lo;
+}
+
+/// first_true seeded with an algebraic estimate of the boundary. The
+/// estimate only has to be within a few ulps of rounding error — the local
+/// walk lands on the exact same minimal j the blind search would find (the
+/// minimum of a monotone predicate is unique), it just skips the ~60
+/// predicate evaluations of the geometric expansion. Falls back to the
+/// blind search when the guess is far off (degenerate inputs).
+template <typename Pred>
+std::uint64_t first_true_near(double guess, Pred&& pred) {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+  if (!(guess >= 1)) guess = 1;
+  if (guess >= 9.2e18) return first_true(pred);
+  std::uint64_t j = static_cast<std::uint64_t>(guess);
+  if (j < 1) j = 1;
+  if (j > kCap) j = kCap;
+  for (int i = 0; i < 8; ++i) {
+    if (pred(j)) {
+      if (j == 1 || !pred(j - 1)) return j;
+      --j;
+    } else {
+      if (j >= kCap) return kCap;
+      ++j;
+      if (pred(j)) return j;
+    }
+  }
+  return first_true(pred);
+}
 
 }  // namespace
 
@@ -36,13 +111,13 @@ Metrics run_simulation(const workload::Trace& trace,
   if (fabric.num_ports() < trace.num_ports)
     throw std::invalid_argument("sim: fabric smaller than trace needs");
 
+  const bool event_mode = config.engine_mode == EngineMode::kEventDriven;
+
   // ---- Dynamic fabric degradation. ----
   // `live` is the engine's mutable view of the fabric: nominal capacities
   // scaled by the degradation schedule's per-port multipliers. Schedulers,
   // the Eq. 3 compression gate and the feasibility check all read `live`,
   // so every decision is priced against what the ports can carry *now*.
-  // With degradation off the multipliers stay at 1 and `live` is
-  // numerically identical to the caller's fabric.
   const fabric::DegradationSchedule degrade(config.degradation,
                                             fabric.num_ports());
   const bool degrade_on = degrade.enabled();
@@ -95,37 +170,47 @@ Metrics run_simulation(const workload::Trace& trace,
   std::vector<double> rate(flows.size(), 0.0);
   std::vector<char> compress(flows.size(), 0);
 
-  common::Seconds t =
+  // ---- Segment state. ----
+  // Time is always seg_base + j * slice (never accumulated), so both modes
+  // land on bit-identical boundary timestamps.
+  common::Seconds seg_base =
       coflows.empty() ? 0.0 : coflows[arrival_order[0]].state.arrival;
+  std::uint64_t seg_j = 0;
+  bool seg_valid = false;
+  std::uint64_t seg_epoch = 0;
+  std::vector<FlowSeg> seg(flows.size());
+  std::vector<fabric::FlowId> seg_flows;  // snapshot members, in walk order
+  std::uint64_t seg_min_event_j = kNoEvent;
+  double seg_progress_step = 0;       // bytes disposed per interior slice
+  std::uint64_t seg_stall_count = 0;  // flows pinned on a failed link
+  common::Seconds seg_cpu_T =
+      std::numeric_limits<common::Seconds>::infinity();
+  bool seg_has_blocked = false;  // compress flow with no CPU: resample ASAP
+
+  const auto slice_time = [&](std::uint64_t j) {
+    return seg_base + static_cast<double>(j) * config.slice;
+  };
+
   // Utilization sampling: wire bytes moved in the current window over the
-  // fabric's total egress capacity.
-  double window_wire = 0;
-  common::Seconds window_start = t;
+  // fabric's total egress capacity. Windows are settled from the cumulative
+  // sent total at flush boundaries (closed form, no per-period loop).
+  common::Seconds window_start = slice_time(0);
+  double window_sent_base = 0;
   double egress_capacity_total = 0;
   for (fabric::PortId p = 0; p < fabric.num_ports(); ++p)
     egress_capacity_total += fabric.egress_capacity(p);
   std::vector<UtilizationSample> samples;
-  auto maybe_sample = [&](common::Seconds now) {
-    if (config.utilization_sample_period <= 0) return;
-    while (now - window_start >= config.utilization_sample_period) {
-      samples.push_back(
-          {window_start + config.utilization_sample_period,
-           window_wire / (egress_capacity_total *
-                          config.utilization_sample_period)});
-      window_wire = 0;
-      window_start += config.utilization_sample_period;
-    }
-  };
+
   bool need_schedule = true;
   bool coflow_event = true;  // arrival/coflow-completion since last schedule
-  int stalled = 0;
+  std::int64_t stalled = 0;
   obs::Sink* const sink = config.sink;
   DegradationStats dstats;
   // Flows that have been covered by at least one allocation: a beta change
   // before the first decision is not a "flip".
   std::vector<char> decided(flows.size(), 0);
   // Cold, out-of-line trace emitters: the Args machinery stays off the
-  // slice/round hot paths, which see only a null test when no sink is set.
+  // round hot paths, which see only a null test when no sink is set.
   struct ColdEmit {
     [[gnu::noinline, gnu::cold]] static void flow_complete(
         obs::Sink* sink, common::Seconds when, std::int64_t flow,
@@ -235,8 +320,8 @@ Metrics run_simulation(const workload::Trace& trace,
   common::Seconds next_capacity_change =
       std::numeric_limits<common::Seconds>::infinity();
   if (degrade_on) {
-    apply_capacity(t);  // an episode may already cover the first arrival
-    next_capacity_change = degrade.next_change_after(t);
+    apply_capacity(seg_base);  // an episode may already cover first arrival
+    next_capacity_change = degrade.next_change_after(seg_base);
   }
 
   // Marks a flow finished at `when`, updating its coflow when it was the
@@ -261,11 +346,9 @@ Metrics run_simulation(const workload::Trace& trace,
     if (sink != nullptr) [[unlikely]]
       ColdEmit::flow_complete(sink, when, std::int64_t(f.id),
                               std::int64_t(sc.trace_id), when - f.arrival);
+    sc.completion_max = std::max(sc.completion_max, when);
     if (--sc.unfinished == 0) {
-      sc.state.completion = when;
-      for (const fabric::FlowId other : sc.state.flows)
-        sc.state.completion =
-            std::max(sc.state.completion, flows[other].completion);
+      sc.state.completion = sc.completion_max;
       ++completed;
       coflow_event = true;
       if (sink != nullptr) [[unlikely]]
@@ -275,23 +358,198 @@ Metrics run_simulation(const workload::Trace& trace,
     }
   };
 
+  // ---- Canonical per-segment flow evolution. ----
+  // Transmit drains compressed-then-raw at `step` bytes per slice:
+  //   w(j)  = min(d0 + D0, j * step)           cumulative wire bytes
+  //   wc(j) = min(D0, w(j))                    ... of which compressed
+  //   d(j)  = d0 - min(d0, max(0, w(j) - D0))
+  // Compression converts raw at `step` bytes per slice:
+  //   cc(j) = min(d0, j * step)                cumulative raw consumed
+  //   d(j)  = d0 - cc(j),  D(j) = D0 + cc(j) * ratio
+  // All monotone in j, so event detection is a monotone-predicate search.
+  auto materialize_flow = [&](fabric::Flow& f, const FlowSeg& s,
+                              std::uint64_t j) {
+    if (s.mode == FlowSeg::kTransmit) {
+      const double w =
+          std::min(s.d0 + s.D0, static_cast<double>(j) * s.step);
+      const double wc = std::min(s.D0, w);
+      f.raw_remaining = s.d0 - std::min(s.d0, std::max(0.0, w - s.D0));
+      f.compressed_pending = s.D0 - wc;
+      f.sent = s.sent0 + w;
+      f.sent_compressed = s.sentc0 + wc;
+    } else if (s.mode == FlowSeg::kCompress) {
+      const double cc = std::min(s.d0, static_cast<double>(j) * s.step);
+      f.raw_remaining = s.d0 - cc;
+      f.compressed_pending = s.D0 + cc * s.ratio;
+    }
+    // kIdle/kBlocked flows do not move.
+  };
+
+  // Writes every live snapshot member back into its flow's pools at the
+  // current boundary. Fold points are mode-independent (schedule rounds and
+  // CPU-headroom re-evaluations), which keeps the FP evaluation order — and
+  // therefore every emitted metric — identical across engine modes.
+  auto materialize_segment = [&]() {
+    for (const fabric::FlowId fid : seg_flows) {
+      FlowSeg& s = seg[fid];
+      if (s.epoch != seg_epoch) continue;  // settled by an event
+      fabric::Flow& f = flows[fid];
+      if (!f.completed()) materialize_flow(f, s, seg_j);
+      s.epoch = 0;
+    }
+    seg_valid = false;
+  };
+
+  // Cumulative wire bytes over all flows at the current boundary, without
+  // materializing (canonical formulas for live snapshot members). Flow-id
+  // order fixes the FP summation order across modes.
+  auto cumulative_sent = [&]() {
+    double total = 0;
+    for (const fabric::Flow& f : flows) {
+      const FlowSeg& s = seg[f.id];
+      if (seg_valid && s.epoch == seg_epoch && !f.completed() &&
+          s.mode == FlowSeg::kTransmit)
+        total += s.sent0 + std::min(s.d0 + s.D0,
+                                    static_cast<double>(seg_j) * s.step);
+      else
+        total += f.sent;
+    }
+    return total;
+  };
+
+  // Settles every utilization window that closed by `now`. Closed-form: the
+  // first window takes all bytes moved since the last flush, later windows
+  // (idle stretches) are zero — no per-period catch-up loop.
+  auto maybe_sample = [&](common::Seconds now) {
+    if (config.utilization_sample_period <= 0) return;
+    const common::Seconds p = config.utilization_sample_period;
+    if (now - window_start < p) return;
+    const double sent_total = cumulative_sent();
+    std::uint64_t n =
+        static_cast<std::uint64_t>((now - window_start) / p);
+    while (n > 0 &&
+           now - (window_start + static_cast<double>(n - 1) * p) < p)
+      --n;
+    while (now - (window_start + static_cast<double>(n) * p) >= p) ++n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double wire = i == 0 ? sent_total - window_sent_base : 0.0;
+      samples.push_back({window_start + static_cast<double>(i + 1) * p,
+                         wire / (egress_capacity_total * p)});
+    }
+    window_start += static_cast<double>(n) * p;
+    window_sent_base = sent_total;
+  };
+
+  // Re-snapshots every unfinished flow of every active coflow at the
+  // current boundary: decision tables -> per-flow segment constants plus
+  // the segment aggregates (earliest event, interior-slice progress, stall
+  // census, CPU-headroom promise).
+  auto snapshot_segment = [&]() {
+    ++seg_epoch;
+    seg_flows.clear();
+    seg_min_event_j = kNoEvent;
+    seg_progress_step = 0;
+    seg_stall_count = 0;
+    seg_cpu_T = std::numeric_limits<common::Seconds>::infinity();
+    seg_has_blocked = false;
+    const bool any_port_degraded = degrade_on && live.degraded();
+    for (const std::size_t ci : active) {
+      for (const fabric::FlowId fid : coflows[ci].state.flows) {
+        fabric::Flow& f = flows[fid];
+        if (f.done() || f.completed()) continue;
+        FlowSeg& s = seg[fid];
+        s.d0 = f.raw_remaining;
+        s.D0 = f.compressed_pending;
+        s.sent0 = f.sent;
+        s.sentc0 = f.sent_compressed;
+        s.event_j = kNoEvent;
+        s.epoch = seg_epoch;
+        if (compress[fid] && config.codec != nullptr &&
+            s.d0 > fabric::kVolumeEpsilon) {
+          const double r_eff =
+              config.codec->compress_speed * cpu.headroom(f.src, seg_base);
+          if (r_eff > kTiny) {
+            s.mode = FlowSeg::kCompress;
+            s.rate = r_eff;
+            s.step = r_eff * config.slice;
+            s.ratio = f.effective_ratio(config.codec->ratio);
+            const double d0 = s.d0, cstep = s.step;
+            s.event_j = first_true_near(
+                (d0 - fabric::kVolumeEpsilon) / cstep + 1.0,
+                [d0, cstep](std::uint64_t j) {
+              return d0 - std::min(d0, static_cast<double>(j) * cstep) <=
+                     fabric::kVolumeEpsilon;
+            });
+            seg_progress_step += s.step;
+            seg_cpu_T = std::min(
+                seg_cpu_T, cpu.headroom_constant_until(f.src, seg_base));
+          } else {
+            // CPU busy under an assigned beta: resample every slice so the
+            // scheduler can drop the switch (historical behavior).
+            s.mode = FlowSeg::kBlocked;
+            s.rate = 0;
+            s.step = 0;
+            seg_has_blocked = true;
+          }
+        } else if (rate[fid] > kTiny) {
+          s.mode = FlowSeg::kTransmit;
+          s.rate = rate[fid];
+          s.step = rate[fid] * config.slice;
+          const double V0 = s.d0 + s.D0, step = s.step;
+          s.event_j = first_true_near(V0 / step, [V0, step](std::uint64_t j) {
+            const double v_prev =
+                V0 - std::min(V0, static_cast<double>(j - 1) * step);
+            const double v_now =
+                V0 - std::min(V0, static_cast<double>(j) * step);
+            return v_prev <= step + kTiny ||
+                   v_now <= fabric::kVolumeEpsilon;
+          });
+          seg_progress_step += s.step;
+        } else {
+          s.mode = FlowSeg::kIdle;
+          s.rate = 0;
+          s.step = 0;
+          // Rate zero on a zero-capacity port is a stall, not starvation:
+          // the flow accrues waiting time until the link recovers.
+          if (any_port_degraded &&
+              std::min(live.ingress_capacity(f.src),
+                       live.egress_capacity(f.dst)) <= 0.0)
+            ++seg_stall_count;
+        }
+        seg_flows.push_back(fid);
+        seg_min_event_j = std::min(seg_min_event_j, s.event_j);
+      }
+    }
+    seg_valid = true;
+  };
+
+  // Reusable scheduling context (satellite: reserve from previous rounds —
+  // clear_round() keeps the vectors' capacity, so steady-state rounds do
+  // not reallocate). The engine walks coflow-by-coflow anyway, so it hands
+  // the coflow grouping to the scheduler via coflow_flow_offsets.
+  sched::SchedContext ctx;
+  ctx.fabric = &live;
+  ctx.cpu = &cpu;
+  ctx.slice = config.slice;
+  ctx.codec = config.codec;
+  ctx.sink = sink;
+
   auto build_context = [&]() {
-    sched::SchedContext ctx;
-    ctx.fabric = &live;
-    ctx.cpu = &cpu;
-    ctx.now = t;
-    ctx.slice = config.slice;
-    ctx.codec = config.codec;
-    ctx.sink = sink;
+    ctx.clear_round();
+    ctx.now = slice_time(seg_j);
+    ctx.coflows.reserve(active.size());
+    ctx.coflow_flow_offsets.reserve(active.size() + 1);
     for (const std::size_t ci : active) {
       ctx.coflows.push_back(&coflows[ci].state);
+      ctx.coflow_flow_offsets.push_back(ctx.flows.size());
       for (const fabric::FlowId fid : coflows[ci].state.flows)
         if (!flows[fid].done()) ctx.flows.push_back(&flows[fid]);
     }
-    return ctx;
+    ctx.coflow_flow_offsets.push_back(ctx.flows.size());
   };
 
   while (completed < coflows.size()) {
+    const common::Seconds t = slice_time(seg_j);
     if (t > config.max_time) throw SimError("sim: exceeded max_time");
 
     // Apply capacity changes due by this boundary. Sampling the schedule's
@@ -318,12 +576,21 @@ Metrics run_simulation(const workload::Trace& trace,
 
     if (active.empty()) {
       if (next_arrival >= arrival_order.size()) break;  // nothing left
-      t = coflows[arrival_order[next_arrival]].state.arrival;
+      seg_base = coflows[arrival_order[next_arrival]].state.arrival;
+      seg_j = 0;
+      seg_valid = false;
       continue;
     }
 
+    // Fold: settle the running segment before any decision that changes the
+    // constants it was snapshot under. The CPU promise expiring is a fold
+    // without a schedule round (rates stand, effective compression speed is
+    // re-read); both folds are boundary-exact and mode-independent.
+    const bool cpu_fold_due = seg_valid && seg_j > 0 && t >= seg_cpu_T;
+    if (seg_valid && (need_schedule || cpu_fold_due)) materialize_segment();
+
     if (need_schedule) {
-      sched::SchedContext ctx = build_context();
+      build_context();
       ctx.coflow_event = coflow_event;
       if (sink != nullptr) [[unlikely]]
         ColdEmit::schedule_round(sink, t, round, sched.name(),
@@ -363,86 +630,126 @@ Metrics run_simulation(const workload::Trace& trace,
         sink->registry().counter("sim.schedule_rounds").add();
     }
 
-    // ---- Advance one slice. ----
-    // Histogram-only profile: per-slice B/E pairs would swamp the trace.
+    if (!seg_valid) {
+      seg_base = t;
+      seg_j = 0;
+      snapshot_segment();
+    }
+
+    // ---- Advance k slices in one closed-form step. ----
+    // Interior boundaries are provably eventless: each cap below stops the
+    // batch at the first boundary where an arrival, capacity change, flow
+    // event, sample flush, CPU re-read, stall verdict or max_time check is
+    // due. The slice-stepped reference simply pins k = 1 and therefore
+    // visits every boundary — evaluating the same formulas either way.
     obs::ProfileScope advance_scope(sink, "sim.advance", "prof",
                                     /*emit_events=*/false);
-    double progress = 0.0;
-    std::uint64_t stalled_this_slice = 0;
-    const bool any_port_degraded = degrade_on && live.degraded();
-    for (const std::size_t ci : active) {
-      SimCoflow& sc = coflows[ci];
-      for (const fabric::FlowId fid : sc.state.flows) {
-        fabric::Flow& f = flows[fid];
-        if (f.done() || f.completed()) continue;
+    std::uint64_t k = 1;
+    if (event_mode) {
+      std::uint64_t cap =
+          seg_min_event_j == kNoEvent ? kNoEvent : seg_min_event_j - seg_j;
+      if (next_arrival < arrival_order.size()) {
+        const common::Seconds arr =
+            coflows[arrival_order[next_arrival]].state.arrival;
+        cap = std::min(
+            cap, first_true_near(
+                     (arr - seg_base) / config.slice - double(seg_j),
+                     [&](std::uint64_t n) {
+                       return arr <= slice_time(seg_j + n) + kTiny;
+                     }));
+      }
+      if (degrade_on && std::isfinite(next_capacity_change))
+        cap = std::min(
+            cap,
+            first_true_near(
+                (next_capacity_change - seg_base) / config.slice -
+                    double(seg_j),
+                [&](std::uint64_t n) {
+                  return next_capacity_change <= slice_time(seg_j + n) + kTiny;
+                }));
+      if (config.utilization_sample_period > 0)
+        cap = std::min(
+            cap, first_true_near(
+                     (window_start + config.utilization_sample_period -
+                      seg_base) /
+                             config.slice -
+                         double(seg_j),
+                     [&](std::uint64_t n) {
+                       return slice_time(seg_j + n) - window_start >=
+                              config.utilization_sample_period;
+                     }));
+      if (std::isfinite(seg_cpu_T))
+        cap = std::min(
+            cap, first_true_near(
+                     (seg_cpu_T - seg_base) / config.slice - double(seg_j),
+                     [&](std::uint64_t n) {
+                       return slice_time(seg_j + n) >= seg_cpu_T;
+                     }));
+      cap = std::min(
+          cap, first_true_near(
+                   (config.max_time - seg_base) / config.slice -
+                       double(seg_j) + 1.0,
+                   [&](std::uint64_t n) {
+                     return slice_time(seg_j + n) > config.max_time;
+                   }));
+      if (seg_progress_step <= kTiny &&
+          !(seg_stall_count > 0 && std::isfinite(next_capacity_change)))
+        cap = std::min(
+            cap, static_cast<std::uint64_t>(kMaxStalledSlices - stalled + 1));
+      if (seg_has_blocked) cap = 1;
+      k = std::max<std::uint64_t>(1, cap);
+    }
 
-        if (compress[fid] && config.codec != nullptr &&
-            f.raw_remaining > fabric::kVolumeEpsilon) {
-          const double r_eff =
-              config.codec->compress_speed * cpu.headroom(f.src, t);
-          if (r_eff > kTiny) {
-            const common::Bytes consumed =
-                std::min(f.raw_remaining, r_eff * config.slice);
-            f.raw_remaining -= consumed;
-            f.compressed_pending +=
-                consumed * f.effective_ratio(config.codec->ratio);
-            progress += consumed;
-            if (f.raw_remaining <= fabric::kVolumeEpsilon) {
-              f.raw_remaining = 0;
-              need_schedule = true;  // compression finished: hand out a rate
-              if (sink != nullptr) [[unlikely]]
-                ColdEmit::compression_done(sink, t, std::int64_t(f.id),
-                                           std::int64_t(sc.trace_id),
-                                           f.compressed_pending);
-              // Degenerate codec (ratio ~ 0) may remove the whole volume.
-              if (f.done()) finalize_flow(f, sc, t + consumed / r_eff);
+    const std::uint64_t target = seg_j + k;
+    if (seg_min_event_j == target) {
+      // Flow events land in slice `target` (the slice starting at
+      // target - 1 boundaries past the segment base). Walk in the same
+      // coflow-then-flow order as the historical per-slice loop.
+      const common::Seconds start =
+          slice_time(0) + static_cast<double>(target - 1) * config.slice;
+      for (const std::size_t ci : active) {
+        SimCoflow& sc = coflows[ci];
+        for (const fabric::FlowId fid : sc.state.flows) {
+          FlowSeg& s = seg[fid];
+          if (s.epoch != seg_epoch || s.event_j != target) continue;
+          fabric::Flow& f = flows[fid];
+          if (s.mode == FlowSeg::kTransmit) {
+            const double V0 = s.d0 + s.D0;
+            const double w_prev =
+                std::min(V0, static_cast<double>(target - 1) * s.step);
+            const double wc_prev = std::min(s.D0, w_prev);
+            const double v_start = V0 - w_prev;
+            const double dc_start = s.D0 - wc_prev;
+            const bool whole = v_start <= s.step + kTiny;
+            f.sent = s.sent0 + w_prev + v_start;
+            f.sent_compressed =
+                s.sentc0 + wc_prev +
+                (whole ? dc_start : std::min(dc_start, s.step));
+            s.epoch = 0;
+            finalize_flow(f, sc, start + v_start / s.rate);
+          } else {  // kCompress: raw pool exhausted this slice
+            const double cc =
+                std::min(s.d0, static_cast<double>(target) * s.step);
+            f.raw_remaining = 0;
+            f.compressed_pending = s.D0 + cc * s.ratio;
+            s.epoch = 0;
+            need_schedule = true;  // compression finished: hand out a rate
+            if (sink != nullptr) [[unlikely]]
+              ColdEmit::compression_done(sink, start, std::int64_t(f.id),
+                                         std::int64_t(sc.trace_id),
+                                         f.compressed_pending);
+            if (f.done()) {
+              // Degenerate codec (ratio ~ 0) removed the whole volume.
+              const double d_prev = s.d0 -
+                  std::min(s.d0, static_cast<double>(target - 1) * s.step);
+              const double consumed = std::min(d_prev, s.step);
+              finalize_flow(f, sc, start + consumed / s.rate);
             }
-          } else {
-            // CPU went busy under us: reschedule so beta can be dropped.
-            need_schedule = true;
-          }
-          continue;
-        }
-
-        const double r = rate[fid];
-        if (r <= kTiny) {
-          // Rate zero on a zero-capacity port is a stall, not starvation:
-          // the flow accrues waiting time until the link recovers.
-          if (any_port_degraded &&
-              std::min(live.ingress_capacity(f.src),
-                       live.egress_capacity(f.dst)) <= 0.0)
-            ++stalled_this_slice;
-          continue;
-        }
-        const common::Bytes budget = r * config.slice;
-        const common::Bytes volume = f.volume();
-        if (volume <= budget + kTiny) {
-          // Completes inside this slice; timestamp is exact.
-          f.sent += volume;
-          f.sent_compressed += f.compressed_pending;
-          progress += volume;
-          window_wire += volume;
-          finalize_flow(f, sc, t + volume / r);
-        } else {
-          const common::Bytes from_compressed =
-              std::min(f.compressed_pending, budget);
-          f.compressed_pending -= from_compressed;
-          const common::Bytes from_raw =
-              std::min(f.raw_remaining, budget - from_compressed);
-          f.raw_remaining -= from_raw;
-          f.sent += from_compressed + from_raw;
-          f.sent_compressed += from_compressed;
-          progress += from_compressed + from_raw;
-          window_wire += from_compressed + from_raw;
-          if (f.done()) {
-            // Float dust left the residue below epsilon: finalize here so
-            // the flow cannot linger done-but-uncompleted.
-            f.sent += f.volume();
-            finalize_flow(f, sc, t + volume / r);
           }
         }
       }
     }
+    if (seg_has_blocked) need_schedule = true;
 
     // Drop completed coflows from the active set.
     active.erase(std::remove_if(active.begin(), active.end(),
@@ -451,29 +758,35 @@ Metrics run_simulation(const workload::Trace& trace,
                                 }),
                  active.end());
 
-    dstats.stalled_flow_slices += stalled_this_slice;
-    if (progress <= kTiny && !active.empty()) {
-      if (stalled_this_slice > 0 && std::isfinite(next_capacity_change)) {
+    // Stall accounting, k slices at once: interior slices of a segment all
+    // dispose the same seg_progress_step bytes, and a slice with a flow
+    // event always has progress (the completing flow's residual volume), so
+    // the per-slice verdicts are segment-constant.
+    dstats.stalled_flow_slices += seg_stall_count * k;
+    if (seg_progress_step <= kTiny && !active.empty()) {
+      if (seg_stall_count > 0 && std::isfinite(next_capacity_change)) {
         // Every idle flow is pinned behind a failed link and the schedule
         // holds a future capacity change: a legitimate stall that must not
         // trip the deadlock detector (max_time still backstops the run).
         stalled = 0;
-      } else if (++stalled > kMaxStalledSlices) {
-        throw SimError("sim: no progress for too long (scheduler " +
-                       sched.name() + " deadlocked?)");
+      } else {
+        stalled += static_cast<std::int64_t>(k);
+        if (stalled > kMaxStalledSlices)
+          throw SimError("sim: no progress for too long (scheduler " +
+                         sched.name() + " deadlocked?)");
       }
     } else {
       stalled = 0;
     }
 
-    t += config.slice;
-    ++slices;
-    maybe_sample(t);
+    seg_j += k;
+    slices += k;
+    maybe_sample(slice_time(seg_j));
   }
 
   if (sink != nullptr) {
     sink->registry().gauge("sim.slices").set(static_cast<double>(slices));
-    sink->registry().gauge("sim.sim_time_s").set(t);
+    sink->registry().gauge("sim.sim_time_s").set(slice_time(seg_j));
     if (degrade_on) {
       sink->registry()
           .counter("sim.capacity_changes")

@@ -28,8 +28,26 @@ class Sink;
 
 namespace swallow::sim {
 
+/// How run_simulation advances time between preemption points.
+enum class EngineMode {
+  /// Fast-forward: between preemption points (arrival, flow/compression
+  /// completion, capacity change, CPU-headroom change, utilization-sample
+  /// boundary) rates and beta are constant, so the engine computes the
+  /// earliest next event analytically and applies the intervening slices'
+  /// progress in one closed-form bulk update. Metrics are byte-identical
+  /// to kSliceStepped: both modes evaluate the same canonical per-segment
+  /// formulas, the event mode just skips the interior slice boundaries
+  /// where nothing can change (see DESIGN.md section 10).
+  kEventDriven = 0,
+  /// The historical reference stepper: one slice at a time. Kept for A/B
+  /// parity testing and as a bisection aid.
+  kSliceStepped = 1,
+};
+
 struct SimConfig {
   common::Seconds slice = common::kDefaultSlice;
+  /// Time-advance strategy; output is byte-identical across modes.
+  EngineMode engine_mode = EngineMode::kEventDriven;
   /// Codec model handed to the scheduler; nullptr disables compression.
   const codec::CodecModel* codec = nullptr;
   /// Abort the run if simulated time passes this point (safety net).

@@ -1,0 +1,92 @@
+#include "sim/run_batch.hpp"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace swallow::sim {
+
+std::uint64_t batch_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64: decorrelates adjacent indices and the base seed itself.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+
+namespace {
+
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+};
+
+}  // namespace
+
+void run_batch_impl(std::size_t count,
+                    const std::function<void(std::size_t)>& body,
+                    const BatchOptions& options) {
+  if (count == 0) return;
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > count) threads = count;
+  if (threads <= 1) {
+    // Inline execution: identical semantics, no pool overhead.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // All jobs are known up front, dealt round-robin; nothing is ever
+  // re-enqueued, so "every queue empty" means every job has been claimed
+  // and a dry worker can exit after one failed stealing sweep.
+  std::vector<WorkerQueue> queues(threads);
+  for (std::size_t i = 0; i < count; ++i)
+    queues[i % threads].jobs.push_back(i);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&](std::size_t self) {
+    const std::size_t kNone = count;
+    for (;;) {
+      std::size_t job = kNone;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].mu);
+        if (!queues[self].jobs.empty()) {
+          job = queues[self].jobs.back();  // own queue LIFO: warm caches
+          queues[self].jobs.pop_back();
+        }
+      }
+      for (std::size_t off = 1; off < threads && job == kNone; ++off) {
+        WorkerQueue& victim = queues[(self + off) % threads];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.jobs.empty()) {
+          job = victim.jobs.front();  // steal FIFO: oldest, coldest work
+          victim.jobs.pop_front();
+        }
+      }
+      if (job == kNone) return;
+      try {
+        body(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace swallow::sim

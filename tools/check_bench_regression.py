@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate wall-clock perf against a checked-in baseline.
+
+Both inputs are SWALLOW_BENCH_JSON files: one JSON object per line,
+{"bench": <name>, "metrics": {"gauges": {<metric>: <value>, ...}, ...}}.
+
+Only timing metrics are gated, with direction taken from the name:
+
+  *_ms           lower is better  -> fail if current > baseline * (1 + tol)
+  *.speedup,
+  *.scaling      higher is better -> fail if current < baseline / (1 + tol)
+
+Everything else (JCT/CCT gauges, counters) is correctness data owned by the
+benches and tests, not a perf gate. The check is one-sided on purpose:
+wall-clock baselines are machine-dependent, so getting faster never fails,
+and the tolerance absorbs runner jitter.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_engine.json \
+      --current bench_out.json [--tolerance 0.25]
+
+Exits 0 when every gated metric is within tolerance (or has no baseline),
+1 on any regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    """Returns {(bench, metric): value} for all gauge metrics in the file.
+
+    A bench appearing multiple times keeps its last line (a re-run appends).
+    """
+    out = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(
+                        f"error: {path}:{lineno}: bad JSON line: {e}"
+                    )
+                bench = row.get("bench", "bench")
+                gauges = row.get("metrics", {}).get("gauges", {})
+                for metric, value in gauges.items():
+                    if isinstance(value, (int, float)):
+                        out[(bench, metric)] = float(value)
+    except OSError as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    return out
+
+
+def direction(metric):
+    """'down' if lower is better, 'up' if higher is better, None if ungated."""
+    if metric.endswith("_ms"):
+        return "down"
+    if metric.endswith(".speedup") or metric.endswith(".scaling"):
+        return "up"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    if not current:
+        print(f"error: no gauge metrics found in {args.current}")
+        return 2
+
+    failures = []
+    checked = 0
+    for key, base in sorted(baseline.items()):
+        sense = direction(key[1])
+        if sense is None or key not in current:
+            continue
+        cur = current[key]
+        checked += 1
+        if sense == "down":
+            limit = base * (1.0 + args.tolerance)
+            ok = cur <= limit
+            delta = (cur / base - 1.0) if base > 0 else 0.0
+        else:
+            limit = base / (1.0 + args.tolerance)
+            ok = cur >= limit
+            delta = (base / cur - 1.0) if cur > 0 else float("inf")
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"{status:>9}  {key[0]}  {key[1]}: "
+            f"baseline={base:.4g} current={cur:.4g} "
+            f"({delta:+.1%} vs tolerance {args.tolerance:.0%})"
+        )
+        if not ok:
+            failures.append(key)
+
+    print(
+        f"\n{checked} timing metric(s) checked against {args.baseline}; "
+        f"{len(failures)} regression(s)"
+    )
+    if checked == 0:
+        print("warning: baseline and current share no timing metrics")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
