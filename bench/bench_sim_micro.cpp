@@ -17,6 +17,7 @@
 #include "cpu/cpu_model.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "sched/dirty.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -75,6 +76,40 @@ void BM_SchedulerDecision(benchmark::State& state,
   state.SetLabel(std::to_string(ctx.flows.size()) + " flows");
 }
 
+// Per-event cost of the incremental path (DESIGN.md section 11): the world
+// carries a DirtyTracker, and each iteration drains a rotating 64-coflow
+// window (marking it dirty) before asking for a fresh decision — the
+// steady-state "few coflows changed" shape the dirty-set machinery targets.
+// Compare against BM_SchedulerDecision at the same Arg for the full-recompute
+// cost of an identical decision.
+void BM_SchedulerDecisionIncremental(benchmark::State& state,
+                                     const std::string& name) {
+  LoadedWorld world(static_cast<std::size_t>(state.range(0)));
+  sched::DirtyTracker tracker(world.fabric.num_ports());
+  tracker.bind_flows(world.flows.data(), world.flows.size());
+  for (const auto& c : world.coflows) tracker.coflow_arrived(&c);
+  auto sched = sim::make_scheduler(name);
+  auto ctx = world.context();
+  ctx.tracker = &tracker;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (std::size_t d = 0; d < 64; ++d) {
+      fabric::Coflow& c = world.coflows[next++ % world.coflows.size()];
+      for (const fabric::FlowId fid : c.flows) {
+        fabric::Flow& f = world.flows[fid];
+        if (f.raw_remaining > 2.0) {
+          f.raw_remaining -= 1.0;
+          f.sent += 1.0;
+        }
+      }
+      tracker.flow_progressed(c.id);
+    }
+    const fabric::Allocation a = sched->schedule(ctx);
+    benchmark::DoNotOptimize(a.flow_count());
+  }
+  state.SetLabel(std::to_string(ctx.flows.size()) + " flows");
+}
+
 void BM_MaxMinFair(benchmark::State& state) {
   LoadedWorld world(static_cast<std::size_t>(state.range(0)));
   auto ctx = world.context();
@@ -109,13 +144,17 @@ void BM_EngineRun(benchmark::State& state, sim::EngineMode mode) {
 }
 
 BENCHMARK_CAPTURE(BM_SchedulerDecision, FVDF, "FVDF")
-    ->Arg(32)->Arg(256)->MinTime(0.05);
+    ->Arg(32)->Arg(256)->Arg(4096)->Arg(32768)->MinTime(0.05);
 BENCHMARK_CAPTURE(BM_SchedulerDecision, SEBF, "SEBF")
-    ->Arg(32)->Arg(256)->MinTime(0.05);
+    ->Arg(32)->Arg(256)->Arg(4096)->Arg(32768)->MinTime(0.05);
 BENCHMARK_CAPTURE(BM_SchedulerDecision, PFF, "PFF")
     ->Arg(32)->Arg(256)->MinTime(0.05);
 BENCHMARK_CAPTURE(BM_SchedulerDecision, AALO, "AALO")
-    ->Arg(32)->Arg(256)->MinTime(0.05);
+    ->Arg(32)->Arg(256)->Arg(4096)->Arg(32768)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_SchedulerDecisionIncremental, FVDF, "FVDF")
+    ->Arg(4096)->Arg(32768)->MinTime(0.05);
+BENCHMARK_CAPTURE(BM_SchedulerDecisionIncremental, SEBF, "SEBF")
+    ->Arg(4096)->Arg(32768)->MinTime(0.05);
 BENCHMARK(BM_MaxMinFair)->Arg(32)->Arg(256)->MinTime(0.05);
 BENCHMARK_CAPTURE(BM_EngineRun, event, sim::EngineMode::kEventDriven)
     ->Arg(20)->Unit(benchmark::kMillisecond)->MinTime(0.05);

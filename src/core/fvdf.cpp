@@ -65,9 +65,43 @@ namespace {
 
 }  // namespace
 
+[[gnu::noinline]] FlowEval evaluate_flow(const EvalEnv& env,
+                                         const fabric::Flow& f,
+                                         bool force_compression) {
+  bool beta = false;
+  double headroom = 0.0;
+  const common::Bps bandwidth = flow_bottleneck(f, *env.fabric);
+  if (env.codec != nullptr && env.cpu != nullptr) {
+    const CompressionDecision d =
+        compression_strategy(f, *env.codec, *env.cpu, *env.fabric, env.now);
+    headroom = d.cpu_headroom;
+    beta = d.enabled ||
+           (force_compression && f.compressible &&
+            f.raw_remaining > fabric::kVolumeEpsilon &&
+            env.cpu->can_compress(f.src, env.now));
+  }
+  // A failed link (current bottleneck 0) makes Eq. 7 unbounded: the flow
+  // cannot transmit until the port recovers, so its coflow ranks last
+  // regardless of priority — exactly what volume disposal wants, since
+  // spending bandwidth elsewhere is always better. Compression may still
+  // run (Eq. 3 holds trivially at B = 0), disposing raw volume while the
+  // flow waits.
+  common::Seconds fct;
+  if (bandwidth <= 0) {
+    fct = std::numeric_limits<common::Seconds>::infinity();
+  } else {
+    // Eq. 7 needs a codec even when beta is false; the term vanishes.
+    const codec::CodecModel& model =
+        env.codec != nullptr ? *env.codec : codec::default_codec_model();
+    fct = expected_fct(f, beta, model, headroom, bandwidth, env.slice);
+  }
+  return FlowEval{beta, fct};
+}
+
 std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
                                              bool online,
                                              bool force_compression) {
+  const EvalEnv env = eval_env(ctx);
   // Group unfinished flows by coflow. The engine hands the grouping over in
   // coflow_flow_offsets (it walks coflow-by-coflow anyway), so the common
   // path is a flat slice per coflow; hand-built contexts without offsets
@@ -102,37 +136,11 @@ std::vector<CoflowEstimate> time_calculation(const sched::SchedContext& ctx,
     est.beta.reserve(est.flows.size());
 
     for (const fabric::Flow* f : est.flows) {
-      bool beta = false;
-      double headroom = 0.0;
-      const common::Bps bandwidth = flow_bottleneck(*f, *ctx.fabric);
-      if (ctx.codec != nullptr && ctx.cpu != nullptr) {
-        const CompressionDecision d = compression_strategy(
-            *f, *ctx.codec, *ctx.cpu, *ctx.fabric, ctx.now);
-        headroom = d.cpu_headroom;
-        beta = d.enabled ||
-               (force_compression && f->compressible &&
-                f->raw_remaining > fabric::kVolumeEpsilon &&
-                ctx.cpu->can_compress(f->src, ctx.now));
-      }
-      est.beta.push_back(beta);
-      // A failed link (current bottleneck 0) makes Eq. 7 unbounded: the
-      // flow cannot transmit until the port recovers, so its coflow ranks
-      // last regardless of priority — exactly what volume disposal wants,
-      // since spending bandwidth elsewhere is always better. Compression
-      // may still run (Eq. 3 holds trivially at B = 0), disposing raw
-      // volume while the flow waits.
-      common::Seconds fct;
-      if (bandwidth <= 0) {
-        fct = std::numeric_limits<common::Seconds>::infinity();
-      } else {
-        // Eq. 7 needs a codec even when beta is false; the term vanishes.
-        const codec::CodecModel& model =
-            ctx.codec != nullptr ? *ctx.codec : codec::default_codec_model();
-        fct = expected_fct(*f, beta, model, headroom, bandwidth, ctx.slice);
-      }
-      est.gamma = std::max(est.gamma, fct);  // Eq. 8
+      const FlowEval ev = evaluate_flow(env, *f, force_compression);
+      est.beta.push_back(ev.beta);
+      est.gamma = std::max(est.gamma, ev.fct);  // Eq. 8
       if (ctx.sink != nullptr) [[unlikely]]
-        emit_beta_decision(ctx, *f, *c, beta, fct);
+        emit_beta_decision(ctx, *f, *c, ev.beta, ev.fct);
     }
     est.adjusted_gamma =
         online ? est.gamma / std::max(c->priority, 1.0) : est.gamma;

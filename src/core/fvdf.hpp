@@ -28,6 +28,36 @@ common::Seconds expected_fct(const fabric::Flow& flow, bool beta,
                              double cpu_headroom, common::Bps bandwidth,
                              common::Seconds slice);
 
+/// The inputs Eq. 3 / Eq. 7 read for one flow, detached from SchedContext
+/// so the incremental path (online.hpp) can evaluate single flows — and the
+/// FVDF-NC ablation can null out the codec — without copying a context.
+struct EvalEnv {
+  const fabric::Fabric* fabric = nullptr;
+  const cpu::CpuProvider* cpu = nullptr;
+  const codec::CodecModel* codec = nullptr;  ///< null disables compression
+  common::Seconds now = 0;
+  common::Seconds slice = common::kDefaultSlice;
+};
+
+inline EvalEnv eval_env(const sched::SchedContext& ctx) {
+  return EvalEnv{ctx.fabric, ctx.cpu, ctx.codec, ctx.now, ctx.slice};
+}
+
+struct FlowEval {
+  bool beta = false;        ///< compression decision for the coming slice
+  common::Seconds fct = 0;  ///< Eq. 7 (+inf on a failed link)
+};
+
+/// One flow's compression decision and expected FCT. This is *the* Γ
+/// kernel: both the batch TimeCalculation and the incremental refresh call
+/// it, and it is deliberately out-of-line (noinline) so the two paths share
+/// one instantiation — identical code, identical FP contraction, identical
+/// bits. Inlining it into two different loops would let the compiler fuse
+/// multiply-adds differently per call site and break the byte-identity
+/// contract between the incremental and full-recompute schedulers.
+FlowEval evaluate_flow(const EvalEnv& env, const fabric::Flow& f,
+                       bool force_compression);
+
 struct CoflowEstimate {
   fabric::Coflow* coflow = nullptr;
   common::Seconds gamma = 0;           ///< Eq. 8 (raw, before priority)

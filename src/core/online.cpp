@@ -9,11 +9,34 @@
 
 namespace swallow::core {
 
-void upgrade_priorities(const sched::SchedContext& ctx) {
+namespace {
+
+// Round stamps double as membership tests, so out-of-range reads must act
+// like "never stamped" (0) rather than grow the table.
+std::uint64_t stamp_of(const std::vector<std::uint64_t>& v,
+                       fabric::CoflowId id) {
+  return id < v.size() ? v[id] : 0;
+}
+
+void set_stamp(std::vector<std::uint64_t>& v, fabric::CoflowId id,
+               std::uint64_t round) {
+  if (id >= v.size()) v.resize(id + 1, 0);
+  v[id] = round;
+}
+
+}  // namespace
+
+std::vector<fabric::CoflowId> upgrade_priorities(
+    const sched::SchedContext& ctx) {
+  std::vector<fabric::CoflowId> bumped;
+  bumped.reserve(ctx.coflows.size());
   for (fabric::Coflow* c : ctx.coflows) {
     if (c->priority < 1.0) c->priority = 1.0;
     c->priority *= kPriorityLogBase;
+    if (ctx.tracker != nullptr) ctx.tracker->priority_changed(c->id);
+    bumped.push_back(c->id);
   }
+  return bumped;
 }
 
 FvdfScheduler::FvdfScheduler(FvdfOptions options) : options_(options) {}
@@ -28,15 +51,23 @@ std::string FvdfScheduler::name() const {
 }
 
 fabric::Allocation FvdfScheduler::schedule(const sched::SchedContext& ctx) {
+  ++round_;
+  const std::uint64_t prev = round_ - 1;
+
   // Pseudocode 3's Upgrade targets "coflows waiting for scheduling": age
   // only coflows that got no service out of the previous decision, at
   // coflow arrival/completion events. Served coflows keep their class, so
-  // the Shortest-Gamma order is preserved while blocked coflows rise.
+  // the Shortest-Gamma order is preserved while blocked coflows rise. The
+  // bump is reported to the dirty tracker as key-only: Γ_C stands, only the
+  // rank key (Γ / priority) moves.
   if (options_.upgrade && options_.online && ctx.coflow_event) {
     for (fabric::Coflow* c : ctx.coflows) {
-      if (!starved_.count(c->id)) continue;
+      if (stamp_of(seen_round_, c->id) != prev ||
+          stamp_of(served_round_, c->id) == prev)
+        continue;
       if (c->priority < 1.0) c->priority = 1.0;
       c->priority *= kPriorityLogBase;
+      if (ctx.tracker != nullptr) ctx.tracker->priority_changed(c->id);
       if (ctx.sink != nullptr) {
         obs::emit_instant(ctx.sink, obs::sim_ts(ctx.now), "priority_upgrade",
                           "fvdf",
@@ -49,25 +80,169 @@ fabric::Allocation FvdfScheduler::schedule(const sched::SchedContext& ctx) {
     }
   }
 
-  // Nulling the codec needs a mutable view; avoid copying the context's
-  // flow/coflow vectors on the common compression-enabled path.
-  fabric::Allocation alloc;
-  if (options_.compression) {
-    alloc = fvdf_allocate(ctx, options_.online, options_.backfill,
-                          options_.force_compression);
-  } else {
-    sched::SchedContext local = ctx;
-    local.codec = nullptr;
-    alloc = fvdf_allocate(local, options_.online, options_.backfill,
-                          options_.force_compression);
-  }
+  // The traced path stays on full recompute: only the batch TimeCalculation
+  // emits per-coflow estimates and β decisions.
+  const bool incremental = ctx.tracker != nullptr && ctx.sink == nullptr;
+  fabric::Allocation alloc =
+      incremental ? schedule_incremental(ctx) : schedule_full(ctx);
 
-  starved_.clear();
-  for (const fabric::Coflow* c : ctx.coflows) starved_.insert(c->id);
+  for (const fabric::Coflow* c : ctx.coflows)
+    set_stamp(seen_round_, c->id, round_);
   for (const fabric::Flow* f : ctx.flows)
     if (alloc.rate(f->id) > 0 || alloc.compress(f->id))
-      starved_.erase(f->coflow);
+      set_stamp(served_round_, f->coflow, round_);
   return alloc;
+}
+
+fabric::Allocation FvdfScheduler::schedule_full(
+    const sched::SchedContext& ctx) {
+  if (options_.compression)
+    return fvdf_allocate(ctx, options_.online, options_.backfill,
+                         options_.force_compression);
+  // Nulling the codec needs a mutable view; avoid copying the context's
+  // flow/coflow vectors on the common compression-enabled path.
+  sched::SchedContext local = ctx;
+  local.codec = nullptr;
+  return fvdf_allocate(local, options_.online, options_.backfill,
+                       options_.force_compression);
+}
+
+fabric::Allocation FvdfScheduler::schedule_incremental(
+    const sched::SchedContext& ctx) {
+  const sched::DirtyTracker& tracker = *ctx.tracker;
+  EvalEnv env = eval_env(ctx);
+  if (!options_.compression) env.codec = nullptr;
+
+  if (bound_tracker_ != ctx.tracker || session_ != tracker.session()) {
+    // First sight of this run (or a restarted one): rebuild from scratch.
+    bound_tracker_ = ctx.tracker;
+    session_ = tracker.session();
+    index_.clear();
+    xmit_index_.clear();
+    cache_.clear();
+    beta_.assign(tracker.flow_count(), 0);
+    for (const fabric::Coflow* c : ctx.coflows) refresh_coflow(ctx, env, *c);
+  } else {
+    for (const fabric::CoflowId id : tracker.dirty()) {
+      const fabric::Coflow* c = tracker.coflow(id);
+      if (c == nullptr) continue;
+      if (c->completed()) {
+        drop_coflow(id);
+        continue;
+      }
+      if (tracker.level(id) == sched::DirtyLevel::kKeyOnly &&
+          id < cache_.size() && cache_[id].valid) {
+        rekey_coflow(*c);
+      } else {
+        refresh_coflow(ctx, env, *c);
+      }
+    }
+  }
+  ctx.tracker->consume();
+
+  // Volume disposal (Pseudocode 2 lines 24-35) over the memoized lanes, in
+  // rank-index order — the same unique (key, arrival, id) sequence the full
+  // path's stable_sort produces. The beta switches install in one bulk copy
+  // (the full path's set_compress(id, true) per compressing flow writes the
+  // same table entries), and the rate walks run over the transmitting-only
+  // index and stop at port exhaustion: beta lanes never touch headroom, and
+  // once every ingress (or every egress) port is drained all remaining
+  // grants are exactly zero — the same rates an unset flow reports.
+  fabric::Allocation alloc;
+  alloc.reserve(tracker.flow_count());
+  alloc.set_compress_all(beta_);
+  fabric::PortHeadroom headroom(*ctx.fabric);
+  xmit_index_.for_each_while([&](fabric::CoflowId id) {
+    const CachedCoflow& cc = cache_[id];
+    for (const Lane& l : cc.lanes) {
+      if (l.beta) continue;
+      const common::Bps r =
+          std::min(l.want, headroom.available(l.src, l.dst));
+      if (r > 0) {
+        alloc.set_rate(l.id, r);
+        headroom.consume(l.src, l.dst, r);
+      }
+    }
+    return !headroom.exhausted();
+  });
+  if (options_.backfill && !headroom.exhausted()) {
+    xmit_index_.for_each_while([&](fabric::CoflowId id) {
+      const CachedCoflow& cc = cache_[id];
+      for (const Lane& l : cc.lanes) {
+        if (l.beta) continue;
+        const common::Bps extra = headroom.available(l.src, l.dst);
+        if (extra <= 0) continue;
+        alloc.set_rate(l.id, alloc.rate(l.id) + extra);
+        headroom.consume(l.src, l.dst, extra);
+      }
+      return !headroom.exhausted();
+    });
+  }
+  return alloc;
+}
+
+void FvdfScheduler::refresh_coflow(const sched::SchedContext& ctx,
+                                   const EvalEnv& env,
+                                   const fabric::Coflow& c) {
+  if (c.id >= cache_.size()) cache_.resize(c.id + 1);
+  CachedCoflow& cc = cache_[c.id];
+  // Un-publish the old lanes' beta switches before rebuilding: a flow that
+  // finished or flipped back to transmitting must not leak a stale flag
+  // into the bulk compression table.
+  for (const Lane& l : cc.lanes)
+    if (l.beta) beta_[l.id] = 0;
+  cc.valid = true;
+  cc.arrival = c.arrival;
+  cc.gamma = 0;
+  cc.has_xmit = false;
+  cc.lanes.clear();
+  const sched::DirtyTracker& tracker = *ctx.tracker;
+  for (const fabric::FlowId fid : c.flows) {
+    const fabric::Flow& f = tracker.flow(fid);
+    if (f.done()) continue;
+    const FlowEval ev = evaluate_flow(env, f, options_.force_compression);
+    cc.gamma = std::max(cc.gamma, ev.fct);  // Eq. 8
+    cc.lanes.push_back(Lane{fid, f.src, f.dst, ev.beta, 0.0});
+    if (ev.beta) {
+      if (fid >= beta_.size()) beta_.resize(fid + 1, 0);
+      beta_[fid] = 1;
+    } else {
+      cc.has_xmit = true;
+    }
+  }
+  if (cc.lanes.empty()) {
+    index_.erase(c.id);
+    xmit_index_.erase(c.id);
+    return;
+  }
+  if (!cc.has_xmit) xmit_index_.erase(c.id);
+  const common::Seconds g = std::max(cc.gamma, ctx.slice);
+  for (Lane& l : cc.lanes)
+    if (!l.beta) l.want = tracker.flow(l.id).volume() / g;
+  rekey_coflow(c);
+}
+
+void FvdfScheduler::rekey_coflow(const fabric::Coflow& c) {
+  const CachedCoflow& cc = cache_[c.id];
+  if (!cc.valid || cc.lanes.empty()) return;
+  const double adjusted =
+      options_.online ? cc.gamma / std::max(c.priority, 1.0) : cc.gamma;
+  const sched::CoflowRankKey key{adjusted, cc.arrival, c.id};
+  index_.insert_or_update(c.id, key);
+  if (cc.has_xmit) xmit_index_.insert_or_update(c.id, key);
+}
+
+void FvdfScheduler::drop_coflow(fabric::CoflowId id) {
+  index_.erase(id);
+  xmit_index_.erase(id);
+  if (id < cache_.size()) {
+    for (const Lane& l : cache_[id].lanes)
+      if (l.beta) beta_[l.id] = 0;
+    cache_[id].valid = false;
+    cache_[id].has_xmit = false;
+    cache_[id].lanes = {};  // free, not just clear: completed coflows linger
+    cache_[id].gamma = 0;
+  }
 }
 
 std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name) {

@@ -1,12 +1,22 @@
 // Online FVDF scheduler (the paper's Pseudocode 3) wrapped in the common
 // Scheduler interface, plus the priority-class Upgrade that guarantees
 // starvation freedom.
+//
+// When the context carries a DirtyTracker (and no trace sink), schedule()
+// runs the incremental path (DESIGN.md section 11): per-coflow Γ components
+// are memoized, the rank order lives in a RankIndex, and each decision point
+// re-evaluates only the coflows the dirty set names. The allocations are
+// bit-for-bit identical to the historical full recompute — test_engine_parity
+// and test_incremental enforce this.
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <set>
+#include <vector>
 
 #include "core/fvdf.hpp"
+#include "sched/dirty.hpp"
+#include "sched/rank_index.hpp"
 #include "sched/scheduler.hpp"
 
 namespace swallow::core {
@@ -16,11 +26,15 @@ namespace swallow::core {
 inline constexpr double kPriorityLogBase = 1.2;
 
 /// Upgrade (Pseudocode 3 lines 15-23): bumps the priority class of every
-/// coflow in the context. The pseudocode applies this to "coflows waiting
-/// for scheduling"; FvdfScheduler therefore ages only coflows that received
-/// no service in its previous allocation (see DESIGN.md 4.2) and this
-/// helper is exposed for the uniform-aging building block.
-void upgrade_priorities(const sched::SchedContext& ctx);
+/// coflow in the context and reports which coflows it bumped, so callers can
+/// re-rank exactly those instead of forcing a global re-sort. When the
+/// context carries a DirtyTracker the bumps are also marked key-only dirty.
+/// The pseudocode applies this to "coflows waiting for scheduling";
+/// FvdfScheduler therefore ages only coflows that received no service in its
+/// previous allocation (see DESIGN.md 4.2) and this helper is exposed for
+/// the uniform-aging building block.
+std::vector<fabric::CoflowId> upgrade_priorities(
+    const sched::SchedContext& ctx);
 
 struct FvdfOptions {
   bool online = true;            ///< divide Gamma_C by the priority class
@@ -39,10 +53,60 @@ class FvdfScheduler final : public sched::Scheduler {
   const FvdfOptions& options() const { return options_; }
 
  private:
+  fabric::Allocation schedule_full(const sched::SchedContext& ctx);
+  fabric::Allocation schedule_incremental(const sched::SchedContext& ctx);
+  /// Re-evaluates a dirty coflow's flows (Eq. 7/8), refreshing its cache
+  /// entry and its rank-index slot.
+  void refresh_coflow(const sched::SchedContext& ctx, const EvalEnv& env,
+                      const fabric::Coflow& c);
+  /// Re-derives the rank key from cached Γ (key-only dirt: priority moved).
+  void rekey_coflow(const fabric::Coflow& c);
+  void drop_coflow(fabric::CoflowId id);
+
   FvdfOptions options_;
-  /// Coflows that got neither bandwidth nor compression in the previous
-  /// allocation: the "waiting" set whose priority classes age.
-  std::set<fabric::CoflowId> starved_;
+
+  // --- starvation bookkeeping (both paths) ---
+  // Round-stamped replacement for a "starved" id set: a coflow is waiting
+  // iff it was seen in the previous round (seen == round-1) and was not
+  // served there (served != round-1). Default stamps of 0 are safe: at
+  // round 1 both compare equal to prev = 0, so nothing counts as starved.
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> seen_round_;    ///< by dense coflow id
+  std::vector<std::uint64_t> served_round_;  ///< by dense coflow id
+
+  // --- incremental state, valid for one tracker session ---
+  /// One memoized allocation lane per unfinished flow of a cached coflow.
+  struct Lane {
+    fabric::FlowId id = 0;
+    fabric::PortId src = 0;
+    fabric::PortId dst = 0;
+    bool beta = false;
+    /// Disposal rate f.V / max(Γ, slice), cached at refresh time so the
+    /// admission walk is pure table lookups. Meaningless when beta.
+    common::Bps want = 0;
+  };
+  struct CachedCoflow {
+    common::Seconds gamma = 0;  ///< Eq. 8, before the priority division
+    common::Seconds arrival = 0;
+    bool valid = false;
+    bool has_xmit = false;  ///< any non-beta lane (member of xmit_index_)
+    std::vector<Lane> lanes;
+  };
+  const sched::DirtyTracker* bound_tracker_ = nullptr;
+  std::uint64_t session_ = 0;
+  std::vector<CachedCoflow> cache_;  ///< by dense coflow id
+  sched::RankIndex index_;
+  /// Subset of index_ (same keys) holding only coflows with at least one
+  /// transmitting lane. The disposal/backfill walks run over this index and
+  /// stop at port exhaustion, so their cost is O(coflows that can still
+  /// receive bandwidth), not O(resident coflows). Beta-only coflows never
+  /// touch headroom, so skipping them leaves the walk order's grants
+  /// bit-identical to the full path's all-coflow walk.
+  sched::RankIndex xmit_index_;
+  /// Persistent per-flow beta switches, mirrored from the cached lanes and
+  /// bulk-installed into each round's Allocation (set_compress_all). Spares
+  /// the O(compressing flows) per-round set_compress loop.
+  std::vector<unsigned char> beta_;  ///< by dense flow id
 };
 
 /// Factory matching sched::make_baseline's shape. Recognized names:

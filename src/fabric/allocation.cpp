@@ -55,16 +55,33 @@ PortHeadroom::PortHeadroom(const Fabric& fabric) {
   for (PortId p = 0; p < fabric.num_ports(); ++p) {
     ingress_.push_back(fabric.ingress_capacity(p));
     egress_.push_back(fabric.egress_capacity(p));
+    // Failed links (capacity 0) start saturated and never open up.
+    if (ingress_.back() > 0) ++open_ingress_;
+    if (egress_.back() > 0) ++open_egress_;
   }
 }
 
 common::Bps PortHeadroom::available(const Flow& flow) const {
-  return std::max(0.0, std::min(ingress_.at(flow.src), egress_.at(flow.dst)));
+  return available(flow.src, flow.dst);
+}
+
+common::Bps PortHeadroom::available(PortId src, PortId dst) const {
+  return std::max(0.0, std::min(ingress_.at(src), egress_.at(dst)));
 }
 
 void PortHeadroom::consume(const Flow& flow, common::Bps rate) {
-  ingress_.at(flow.src) = std::max(0.0, ingress_.at(flow.src) - rate);
-  egress_.at(flow.dst) = std::max(0.0, egress_.at(flow.dst) - rate);
+  consume(flow.src, flow.dst, rate);
+}
+
+void PortHeadroom::consume(PortId src, PortId dst, common::Bps rate) {
+  common::Bps& in = ingress_.at(src);
+  common::Bps& out = egress_.at(dst);
+  // A port leaves the open set exactly when this grant drains it (a full
+  // grant of min(in, out) subtracts the smaller side to a bitwise 0.0).
+  if (in > 0 && rate >= in) --open_ingress_;
+  in = std::max(0.0, in - rate);
+  if (out > 0 && rate >= out) --open_egress_;
+  out = std::max(0.0, out - rate);
 }
 
 Allocation weighted_max_min(const std::vector<const Flow*>& flows,
@@ -147,6 +164,7 @@ Allocation strict_priority(const std::vector<const Flow*>& flows,
   Allocation alloc;
   PortHeadroom headroom(fabric);
   for (const Flow* f : flows) {
+    if (headroom.exhausted()) break;
     const common::Bps r = headroom.available(*f);
     alloc.set_rate(f->id, r);
     headroom.consume(*f, r);
@@ -158,6 +176,7 @@ void madd_into(Allocation& alloc, const std::vector<const Flow*>& coflow_flows,
                common::Seconds gamma, PortHeadroom& headroom) {
   if (gamma <= 0) throw std::invalid_argument("madd_into: non-positive gamma");
   for (const Flow* f : coflow_flows) {
+    if (headroom.exhausted()) break;
     if (f->done()) continue;
     const common::Bps want = f->volume() / gamma;
     const common::Bps r = std::min(want, headroom.available(*f));
@@ -169,6 +188,7 @@ void madd_into(Allocation& alloc, const std::vector<const Flow*>& coflow_flows,
 void backfill_into(Allocation& alloc, const std::vector<const Flow*>& flows,
                    PortHeadroom& headroom) {
   for (const Flow* f : flows) {
+    if (headroom.exhausted()) break;
     if (f->done()) continue;
     const common::Bps extra = headroom.available(*f);
     if (extra <= 0) continue;

@@ -29,6 +29,15 @@ class Allocation {
     return id < compress_.size() && compress_[id] != 0;
   }
 
+  /// Bulk-installs the whole compression table in one copy — semantically
+  /// identical to calling set_compress(id, flags[id] != 0) for every id in
+  /// `flags` (ids beyond it stay unset/false). Lets a scheduler that keeps
+  /// its beta switches memoized publish them in O(flows/word) instead of
+  /// one set_compress call per compressing flow.
+  void set_compress_all(std::vector<unsigned char> flags) {
+    compress_ = std::move(flags);
+  }
+
   std::size_t flow_count() const { return rate_set_count_; }
 
   /// Pre-sizes the tables for flow ids < `max_flow_id` (optional; set_rate
@@ -56,15 +65,27 @@ class PortHeadroom {
 
   /// Max rate flow (src -> dst) can still get: min of the two ports.
   common::Bps available(const Flow& flow) const;
+  common::Bps available(PortId src, PortId dst) const;
   /// Consumes `rate` on both of the flow's ports (clamped at zero).
   void consume(const Flow& flow, common::Bps rate);
+  void consume(PortId src, PortId dst, common::Bps rate);
 
   common::Bps ingress(PortId p) const { return ingress_.at(p); }
   common::Bps egress(PortId p) const { return egress_.at(p); }
 
+  /// True when no flow can receive a positive rate anymore: every ingress
+  /// port is drained, or every egress port is. Greedy in-order allocators
+  /// (FVDF disposal/backfill, SEBF, strict_priority) use this to stop
+  /// walking — every grant past this point would be exactly zero, so
+  /// breaking early leaves the allocation observably unchanged (rate() of
+  /// an unset flow is already 0).
+  bool exhausted() const { return open_ingress_ == 0 || open_egress_ == 0; }
+
  private:
   std::vector<common::Bps> ingress_;
   std::vector<common::Bps> egress_;
+  std::size_t open_ingress_ = 0;  ///< ports with ingress headroom > 0
+  std::size_t open_egress_ = 0;   ///< ports with egress headroom > 0
 };
 
 /// Progressive-filling (weighted) max-min fairness under ingress+egress

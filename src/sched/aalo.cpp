@@ -24,6 +24,12 @@ std::size_t AaloScheduler::queue_of(common::Bytes sent) const {
 }
 
 fabric::Allocation AaloScheduler::schedule(const SchedContext& ctx) {
+  if (ctx.tracker != nullptr && ctx.sink == nullptr)
+    return schedule_incremental(ctx);
+  return schedule_full(ctx);
+}
+
+fabric::Allocation AaloScheduler::schedule_full(const SchedContext& ctx) {
   // Attained service per coflow: bytes already on the wire.
   std::unordered_map<fabric::CoflowId, common::Bytes> sent;
   sent.reserve(ctx.coflows.size());
@@ -47,6 +53,72 @@ fabric::Allocation AaloScheduler::schedule(const SchedContext& ctx) {
   for (const fabric::Coflow* c : order) ids.push_back(c->id);
   return fabric::strict_priority(order_flows_by_coflow(ctx, ids),
                                  *ctx.fabric);
+}
+
+fabric::Allocation AaloScheduler::schedule_incremental(
+    const SchedContext& ctx) {
+  const DirtyTracker& tracker = *ctx.tracker;
+  if (bound_tracker_ != ctx.tracker || session_ != tracker.session()) {
+    bound_tracker_ = ctx.tracker;
+    session_ = tracker.session();
+    index_.clear();
+    cache_.clear();
+    for (const fabric::Coflow* c : ctx.coflows) refresh_coflow(ctx, *c);
+  } else {
+    // Aalo has no priority class, so any dirt — including key-only marks
+    // from a shared engine feed — just re-derives the queue level.
+    for (const fabric::CoflowId id : tracker.dirty()) {
+      const fabric::Coflow* c = tracker.coflow(id);
+      if (c == nullptr) continue;
+      if (c->completed()) {
+        index_.erase(id);
+        if (id < cache_.size()) cache_[id] = Cached{};
+        continue;
+      }
+      refresh_coflow(ctx, *c);
+    }
+  }
+  ctx.tracker->consume();
+
+  // Concatenating the cached flow lists in index order reproduces the full
+  // path's order_flows_by_coflow sequence: coflows by (queue, arrival, id),
+  // flows within a coflow by ascending flow id.
+  ordered_.clear();
+  ordered_.reserve(tracker.flow_count());
+  index_.for_each([&](fabric::CoflowId id) {
+    const Cached& cc = cache_[id];
+    ordered_.insert(ordered_.end(), cc.flows.begin(), cc.flows.end());
+  });
+  return fabric::strict_priority(ordered_, *ctx.fabric);
+}
+
+void AaloScheduler::refresh_coflow(const SchedContext& ctx,
+                                   const fabric::Coflow& c) {
+  if (c.id >= cache_.size()) cache_.resize(c.id + 1);
+  Cached& cc = cache_[c.id];
+  cc.valid = true;
+  cc.flows.clear();
+  const DirtyTracker& tracker = *ctx.tracker;
+  // Attained service sums over every unfinished flow — stalled ones
+  // included, exactly like the full path's pass over ctx.flows — while the
+  // output flow list additionally filters stalled flows, matching
+  // transmittable_flows.
+  common::Bytes sent = 0;
+  for (const fabric::FlowId fid : c.flows) {
+    const fabric::Flow& f = tracker.flow(fid);
+    if (f.done()) continue;
+    sent += f.sent;
+    if (!link_stalled(f, *ctx.fabric)) cc.flows.push_back(&f);
+  }
+  if (cc.flows.empty()) {
+    index_.erase(c.id);
+    return;
+  }
+  // Queue levels are small integers: exact as doubles, so the shared rank
+  // key compares them precisely.
+  index_.insert_or_update(
+      c.id, CoflowRankKey{static_cast<double>(queue_of(sent)), c.arrival,
+                          c.id});
 }
 
 }  // namespace swallow::sched

@@ -9,6 +9,11 @@
 // queues and FIFO within a queue, work-conserving.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "sched/dirty.hpp"
+#include "sched/rank_index.hpp"
 #include "sched/scheduler.hpp"
 
 namespace swallow::sched {
@@ -33,7 +38,23 @@ class AaloScheduler final : public Scheduler {
   std::size_t queue_of(common::Bytes sent) const;
 
  private:
+  fabric::Allocation schedule_full(const SchedContext& ctx);
+  fabric::Allocation schedule_incremental(const SchedContext& ctx);
+  void refresh_coflow(const SchedContext& ctx, const fabric::Coflow& c);
+
   Config config_;
+
+  // --- incremental state, valid for one tracker session ---
+  struct Cached {
+    bool valid = false;
+    /// Unfinished, unstalled flows, in coflow flow-id order.
+    std::vector<const fabric::Flow*> flows;
+  };
+  const DirtyTracker* bound_tracker_ = nullptr;
+  std::uint64_t session_ = 0;
+  std::vector<Cached> cache_;  ///< by dense coflow id
+  RankIndex index_;            ///< primary key: queue level (exact integer)
+  std::vector<const fabric::Flow*> ordered_;  ///< per-round output scratch
 };
 
 }  // namespace swallow::sched

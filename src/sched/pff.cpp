@@ -3,7 +3,7 @@
 namespace swallow::sched {
 
 fabric::Allocation PffScheduler::schedule(const SchedContext& ctx) {
-  const std::vector<const fabric::Flow*> flows = transmittable_flows(ctx);
+  const std::vector<const fabric::Flow*>& flows = transmittable_flows(ctx);
   const std::vector<double> weights(flows.size(), 1.0);
   return fabric::weighted_max_min(flows, weights, *ctx.fabric);
 }

@@ -8,11 +8,15 @@ namespace swallow::sched {
 std::vector<const fabric::Flow*> order_flows_by_coflow(
     const SchedContext& ctx,
     const std::vector<fabric::CoflowId>& coflow_order) {
-  return order_flows_by_coflow(transmittable_flows(ctx), coflow_order);
+  return order_flows_by_coflow(
+      std::vector<const fabric::Flow*>(transmittable_flows(ctx)),
+      coflow_order);
 }
 
-std::vector<const fabric::Flow*> transmittable_flows(const SchedContext& ctx) {
-  std::vector<const fabric::Flow*> out;
+const std::vector<const fabric::Flow*>& transmittable_flows(
+    const SchedContext& ctx) {
+  std::vector<const fabric::Flow*>& out = ctx.transmittable_scratch;
+  out.clear();
   out.reserve(ctx.flows.size());
   for (const fabric::Flow* f : ctx.flows)
     if (!link_stalled(*f, *ctx.fabric)) out.push_back(f);

@@ -23,6 +23,8 @@ class Sink;
 
 namespace swallow::sched {
 
+class DirtyTracker;
+
 struct SchedContext {
   const fabric::Fabric* fabric = nullptr;
   const cpu::CpuProvider* cpu = nullptr;
@@ -60,6 +62,16 @@ struct SchedContext {
   /// classes, β switches, starvation promotions). Null disables tracing at
   /// the cost of one branch per site.
   obs::Sink* sink = nullptr;
+  /// Incremental-scheduling event feed (dirty.hpp), owned by the simulation
+  /// engine. Null for hand-built contexts and the slice-stepped reference
+  /// path, in which case schedulers run their historical full-recompute
+  /// path. Schedulers also fall back to full recompute while `sink` is set
+  /// (the traced path emits per-coflow estimates, which only the batch
+  /// TimeCalculation produces); the unconsumed dirty set simply accumulates.
+  DirtyTracker* tracker = nullptr;
+  /// Scratch for transmittable_flows(): reused across rounds so the stall
+  /// filter stops allocating once its capacity stabilizes.
+  mutable std::vector<const fabric::Flow*> transmittable_scratch;
 };
 
 class Scheduler {
@@ -91,6 +103,10 @@ inline bool link_stalled(const fabric::Flow& flow,
 /// ctx.flows minus the stalled ones (order preserved). Every policy
 /// allocates over this set, so rates are always priced against current
 /// port capacities and a failed link never absorbs an allocation.
-std::vector<const fabric::Flow*> transmittable_flows(const SchedContext& ctx);
+/// The result lives in ctx.transmittable_scratch and is reused across
+/// rounds: it stays valid until the next transmittable_flows() call on the
+/// same context, so callers that mutate the order must copy it first.
+const std::vector<const fabric::Flow*>& transmittable_flows(
+    const SchedContext& ctx);
 
 }  // namespace swallow::sched

@@ -2,8 +2,17 @@
 // their effective bottleneck Gamma = max_port(load/capacity); the admitted
 // coflow's flows get MADD rates (all finish together at Gamma), residual
 // capacity backfills the remaining coflows in the same order.
+//
+// With a DirtyTracker in the context (and no trace sink) the scheduler keeps
+// per-coflow Gamma memoized in a RankIndex and re-derives only dirty coflows
+// per decision point; allocations stay bit-identical to the full recompute.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "sched/dirty.hpp"
+#include "sched/rank_index.hpp"
 #include "sched/scheduler.hpp"
 
 namespace swallow::sched {
@@ -18,7 +27,25 @@ class SebfScheduler final : public Scheduler {
   fabric::Allocation schedule(const SchedContext& ctx) override;
 
  private:
+  fabric::Allocation schedule_full(const SchedContext& ctx);
+  fabric::Allocation schedule_incremental(const SchedContext& ctx);
+  void refresh_coflow(const SchedContext& ctx, const fabric::Coflow& c);
+
   bool backfill_;
+
+  // --- incremental state, valid for one tracker session ---
+  struct Cached {
+    common::Seconds gamma = 0;
+    bool valid = false;
+    /// Unfinished, unstalled flows, in coflow flow-id order (the engine's
+    /// context order, so MADD's FP accumulation matches the full path).
+    std::vector<const fabric::Flow*> flows;
+  };
+  const DirtyTracker* bound_tracker_ = nullptr;
+  std::uint64_t session_ = 0;
+  std::vector<Cached> cache_;  ///< by dense coflow id
+  RankIndex index_;
+  std::vector<common::Bytes> in_load_, out_load_;  ///< per-port scratch
 };
 
 }  // namespace swallow::sched

@@ -3,7 +3,7 @@
 namespace swallow::sched {
 
 fabric::Allocation WssScheduler::schedule(const SchedContext& ctx) {
-  const std::vector<const fabric::Flow*> flows = transmittable_flows(ctx);
+  const std::vector<const fabric::Flow*>& flows = transmittable_flows(ctx);
   std::vector<double> weights;
   weights.reserve(flows.size());
   for (const fabric::Flow* f : flows) weights.push_back(f->volume());

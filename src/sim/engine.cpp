@@ -9,6 +9,7 @@
 
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "sched/dirty.hpp"
 
 namespace swallow::sim {
 
@@ -170,6 +171,19 @@ Metrics run_simulation(const workload::Trace& trace,
   std::vector<double> rate(flows.size(), 0.0);
   std::vector<char> compress(flows.size(), 0);
 
+  // ---- Incremental-scheduling event feed (DESIGN.md section 11). ----
+  // The event loop reports every input change (arrivals, completions,
+  // capacity multipliers, CPU headroom, actual flow progress) to the
+  // tracker; schedulers that maintain memoized Γ state consume it and
+  // re-rank only what moved. Only the event-driven mode feeds it — the
+  // slice-stepped reference keeps the historical full recompute, which is
+  // exactly what makes test_engine_parity the byte-identity oracle for the
+  // incremental paths. flows is reserved up front, so the bound pointer
+  // stays valid for the whole run.
+  const bool track = event_mode && config.incremental_sched;
+  sched::DirtyTracker tracker(fabric.num_ports());
+  if (track) tracker.bind_flows(flows.data(), flows.size());
+
   // ---- Segment state. ----
   // Time is always seg_base + j * slice (never accumulated), so both modes
   // land on bit-identical boundary timestamps.
@@ -307,6 +321,7 @@ Metrics run_simulation(const workload::Trace& trace,
       const double prev = live.port_multiplier(p);
       if (m == prev) continue;
       live.set_port_multiplier(p, m);
+      if (track) tracker.port_capacity_changed(p);
       ++dstats.capacity_changes;
       if (m == 0.0) ++dstats.link_failures;
       need_schedule = true;
@@ -343,6 +358,7 @@ Metrics run_simulation(const workload::Trace& trace,
     f.compressed_pending = 0;
     f.completion = when;
     need_schedule = true;
+    if (track) tracker.coflow_changed(f.coflow);
     if (sink != nullptr) [[unlikely]]
       ColdEmit::flow_complete(sink, when, std::int64_t(f.id),
                               std::int64_t(sc.trace_id), when - f.arrival);
@@ -533,6 +549,7 @@ Metrics run_simulation(const workload::Trace& trace,
   ctx.slice = config.slice;
   ctx.codec = config.codec;
   ctx.sink = sink;
+  ctx.tracker = track ? &tracker : nullptr;
 
   auto build_context = [&]() {
     ctx.clear_round();
@@ -563,6 +580,8 @@ Metrics run_simulation(const workload::Trace& trace,
     while (next_arrival < arrival_order.size() &&
            coflows[arrival_order[next_arrival]].state.arrival <= t + kTiny) {
       active.push_back(arrival_order[next_arrival]);
+      if (track)
+        tracker.coflow_arrived(&coflows[arrival_order[next_arrival]].state);
       if (sink != nullptr) [[unlikely]] {
         const SimCoflow& sc = coflows[arrival_order[next_arrival]];
         ColdEmit::coflow_arrival(sink, sc.state.arrival,
@@ -592,6 +611,10 @@ Metrics run_simulation(const workload::Trace& trace,
     if (need_schedule) {
       build_context();
       ctx.coflow_event = coflow_event;
+      // The cached Γ terms read CPU headroom through Eq. 3/7; sampling here
+      // (value-compared per port) dirties exactly the coflows sourced at
+      // ports whose headroom or compress gate moved since the last round.
+      if (track) tracker.sample_cpu(cpu, ctx.now);
       if (sink != nullptr) [[unlikely]]
         ColdEmit::schedule_round(sink, t, round, sched.name(),
                                  std::int64_t(ctx.coflows.size()),
@@ -622,6 +645,12 @@ Metrics run_simulation(const workload::Trace& trace,
         decided[f->id] = 1;
         rate[f->id] = new_rate;
         compress[f->id] = new_compress ? 1 : 0;
+        // Served flows drain volume over the coming segment, so their Γ
+        // terms are stale by the next decision point. Zero-rate flows do
+        // not move — in a saturated fabric this keeps the dirty set near
+        // O(ports served), not O(coflows).
+        if (track && (new_rate > kTiny || new_compress))
+          tracker.flow_progressed(f->coflow);
       }
       need_schedule = false;
       coflow_event = false;
@@ -734,6 +763,11 @@ Metrics run_simulation(const workload::Trace& trace,
             f.compressed_pending = s.D0 + cc * s.ratio;
             s.epoch = 0;
             need_schedule = true;  // compression finished: hand out a rate
+            // The round that switched this flow to compression already left
+            // a pending flow_progressed mark, so this re-mark is redundant
+            // today — kept so the dirty feed stays correct even if marks
+            // are ever consumed between here and that round.
+            if (track) tracker.flow_progressed(f.coflow);
             if (sink != nullptr) [[unlikely]]
               ColdEmit::compression_done(sink, start, std::int64_t(f.id),
                                          std::int64_t(sc.trace_id),

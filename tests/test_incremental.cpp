@@ -1,0 +1,354 @@
+// Incremental scheduling (DESIGN.md section 11): byte-identity against the
+// full recompute, plus unit coverage of the dirty-set tracker and the rank
+// index.
+//
+// The engine runs the same event-driven sequence twice — once with the
+// DirtyTracker feed (memoized Γ, rank-index admission) and once with
+// incremental_sched off (historical full recompute per round) — and every
+// Metrics record must match with exact FP equality. The randomized sweep
+// crosses schedulers with degradation, quantized completions and
+// non-constant CPU providers, which together exercise every dirty rule:
+// arrivals, flow completions, compression-finished, capacity multipliers,
+// CPU headroom changes and priority upgrades.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/cpu_model.hpp"
+#include "sched/dirty.hpp"
+#include "sched/rank_index.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace swallow;
+
+workload::Trace make_trace(std::uint64_t seed, std::size_t coflows,
+                           std::size_t ports) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = ports;
+  gen.num_coflows = coflows;
+  gen.mean_interarrival = 0.3;
+  gen.size_lo = 1e5;
+  gen.size_hi = 2e8;
+  gen.size_alpha = 0.2;
+  gen.width_lo = 1;
+  gen.width_hi = 5;
+  gen.seed = seed;
+  return workload::generate_trace(gen);
+}
+
+sim::Metrics run_once(const workload::Trace& trace,
+                      const fabric::Fabric& fabric,
+                      const cpu::CpuProvider& cpu, const std::string& name,
+                      sim::SimConfig config, bool incremental) {
+  config.engine_mode = sim::EngineMode::kEventDriven;
+  config.incremental_sched = incremental;
+  auto sched = sim::make_scheduler(name);  // fresh: schedulers are stateful
+  return sim::run_simulation(trace, fabric, cpu, *sched, config);
+}
+
+// Exact (bitwise-value) comparison of every record the engine emits.
+void expect_identical(const sim::Metrics& a, const sim::Metrics& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].id, b.flows[i].id);
+    EXPECT_EQ(a.flows[i].completion, b.flows[i].completion) << "flow " << i;
+    EXPECT_EQ(a.flows[i].wire_bytes, b.flows[i].wire_bytes) << "flow " << i;
+  }
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    EXPECT_EQ(a.coflows[i].id, b.coflows[i].id);
+    EXPECT_EQ(a.coflows[i].completion, b.coflows[i].completion)
+        << "coflow " << i;
+    EXPECT_EQ(a.coflows[i].wire_bytes, b.coflows[i].wire_bytes)
+        << "coflow " << i;
+  }
+  ASSERT_EQ(a.utilization.size(), b.utilization.size());
+  for (std::size_t i = 0; i < a.utilization.size(); ++i) {
+    EXPECT_EQ(a.utilization[i].t, b.utilization[i].t);
+    EXPECT_EQ(a.utilization[i].egress_utilization,
+              b.utilization[i].egress_utilization)
+        << "sample " << i;
+  }
+  EXPECT_EQ(a.degradation.capacity_changes, b.degradation.capacity_changes);
+  EXPECT_EQ(a.degradation.link_failures, b.degradation.link_failures);
+  EXPECT_EQ(a.degradation.stalled_flow_slices,
+            b.degradation.stalled_flow_slices);
+  EXPECT_EQ(a.degradation.compression_flips, b.degradation.compression_flips);
+}
+
+void expect_incremental_identity(const workload::Trace& trace,
+                                 const fabric::Fabric& fabric,
+                                 const cpu::CpuProvider& cpu,
+                                 const std::string& name,
+                                 const sim::SimConfig& config,
+                                 const std::string& label) {
+  const sim::Metrics inc = run_once(trace, fabric, cpu, name, config, true);
+  const sim::Metrics full = run_once(trace, fabric, cpu, name, config, false);
+  expect_identical(inc, full, label);
+}
+
+TEST(IncrementalIdentity, RandomizedSweep) {
+  // Schedulers x degradation x quantized completions, two seeds each. FVDF
+  // covers priority upgrades and the compression dirty rules; SEBF and AALO
+  // cover the non-FVDF index paths.
+  const std::vector<std::string> names = {"FVDF", "FVDF-NC", "FVDF-BLIND",
+                                          "SEBF", "AALO"};
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const workload::Trace trace = make_trace(seed, 24, 12);
+    const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+    const cpu::ConstantCpu cpu(0.85);
+    for (const bool degrade : {false, true}) {
+      for (const bool quantize : {false, true}) {
+        sim::SimConfig config;
+        config.codec = &codec::default_codec_model();
+        config.quantize_completions = quantize;
+        config.utilization_sample_period = 0.25;
+        config.max_time = 72000.0;
+        if (degrade) {
+          config.degradation.rate = 0.15;
+          config.degradation.seed = seed + 1;
+          config.degradation.failure_fraction = 0.3;
+        }
+        for (const std::string& name : names) {
+          const std::string label =
+              name + " seed=" + std::to_string(seed) +
+              " degrade=" + (degrade ? "1" : "0") +
+              " quantize=" + (quantize ? "1" : "0");
+          expect_incremental_identity(trace, fabric, cpu, name, config,
+                                      label);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalIdentity, WindowedCpuHeavyFailures) {
+  // Non-constant CPU under heavy link failures: exercises the per-port CPU
+  // sampling rule (value-compared headroom + compress gate) together with
+  // capacity dirtying and long starvation stretches (priority upgrades).
+  const workload::Trace trace = make_trace(17, 20, 10);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(100));
+  const cpu::WindowedCpu cpu({{0.0, 1.0}, {2.0, 3.5}, {5.0, 9.0}}, 0.9, 0.0);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  config.utilization_sample_period = 0.5;
+  config.max_time = 72000.0;
+  config.degradation.rate = 0.2;
+  config.degradation.seed = 29;
+  config.degradation.failure_fraction = 0.4;
+  expect_incremental_identity(trace, fabric, cpu, "FVDF", config,
+                              "windowed cpu, heavy failures");
+  expect_incremental_identity(trace, fabric, cpu, "SEBF", config,
+                              "windowed cpu, heavy failures, sebf");
+}
+
+TEST(IncrementalIdentity, BurstyCpu) {
+  const workload::Trace trace = make_trace(23, 16, 8);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(100));
+  cpu::BurstyCpu::Config bc;
+  bc.nodes = 8;
+  bc.idle_fraction = 0.5;
+  bc.mean_burst = 0.5;
+  bc.seed = 31;
+  const cpu::BurstyCpu cpu(bc);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  expect_incremental_identity(trace, fabric, cpu, "FVDF", config,
+                              "bursty cpu");
+  expect_incremental_identity(trace, fabric, cpu, "FVDF-BLIND", config,
+                              "bursty cpu, blind");
+}
+
+// ---- DirtyTracker unit tests ----
+
+struct TrackerWorld {
+  std::vector<fabric::Flow> flows;
+  std::vector<fabric::Coflow> coflows;
+
+  // One coflow, `width` flows on ports (src, dst), (src+0/1, dst) ...
+  fabric::CoflowId add_coflow(std::vector<std::pair<fabric::PortId,
+                                                    fabric::PortId>> lanes) {
+    fabric::Coflow c;
+    c.id = coflows.size();
+    for (const auto& [src, dst] : lanes) {
+      fabric::Flow f;
+      f.id = flows.size();
+      f.coflow = c.id;
+      f.src = src;
+      f.dst = dst;
+      f.original_bytes = 1e6;
+      f.raw_remaining = 1e6;
+      c.flows.push_back(f.id);
+      flows.push_back(f);
+    }
+    coflows.push_back(c);
+    return c.id;
+  }
+};
+
+TEST(DirtyTracker, CapacityChangeDirtiesExactlyResidents) {
+  TrackerWorld w;
+  const auto c0 = w.add_coflow({{0, 1}});
+  const auto c1 = w.add_coflow({{2, 3}});
+  const auto c2 = w.add_coflow({{0, 3}, {2, 1}});
+  sched::DirtyTracker tracker(4);
+  tracker.bind_flows(w.flows.data(), w.flows.size());
+  for (const auto& c : w.coflows) tracker.coflow_arrived(&c);
+  tracker.consume();  // drop the arrival marks
+
+  // Port 0 ingress: c0 and c2 source there, c1 does not.
+  tracker.port_capacity_changed(0);
+  EXPECT_EQ(tracker.dirty(), (std::vector<fabric::CoflowId>{c0, c2}));
+  EXPECT_EQ(tracker.level(c0), sched::DirtyLevel::kRecompute);
+  EXPECT_EQ(tracker.level(c1), sched::DirtyLevel::kClean);
+  tracker.consume();
+
+  // Port 3 egress: c1 and c2 sink there.
+  tracker.port_capacity_changed(3);
+  EXPECT_EQ(tracker.dirty(), (std::vector<fabric::CoflowId>{c1, c2}));
+  tracker.consume();
+
+  // A port no coflow touches dirties nothing... and there is no port 1
+  // sourcing, only sinking: src and dst residency are tracked separately.
+  EXPECT_TRUE(tracker.src_residents(1).empty());
+  EXPECT_EQ(tracker.src_residents(0),
+            (std::vector<fabric::CoflowId>{c0, c2}));
+  EXPECT_EQ(tracker.dst_residents(1),
+            (std::vector<fabric::CoflowId>{c0, c2}));
+}
+
+TEST(DirtyTracker, CompletedResidentsArePrunedLazily) {
+  TrackerWorld w;
+  const auto c0 = w.add_coflow({{0, 1}});
+  const auto c1 = w.add_coflow({{0, 2}});
+  sched::DirtyTracker tracker(3);
+  tracker.bind_flows(w.flows.data(), w.flows.size());
+  for (const auto& c : w.coflows) tracker.coflow_arrived(&c);
+  tracker.consume();
+
+  w.coflows[c0].completion = 5.0;  // completed: must stop getting dirtied
+  tracker.port_capacity_changed(0);
+  EXPECT_EQ(tracker.dirty(), (std::vector<fabric::CoflowId>{c1}));
+  // ... and the resident list was compacted in the same pass.
+  EXPECT_EQ(tracker.src_residents(0), (std::vector<fabric::CoflowId>{c1}));
+}
+
+TEST(DirtyTracker, LevelsMergeUpwardAndConsumeClears) {
+  TrackerWorld w;
+  const auto c0 = w.add_coflow({{0, 1}});
+  sched::DirtyTracker tracker(2);
+  tracker.bind_flows(w.flows.data(), w.flows.size());
+  tracker.coflow_arrived(&w.coflows[c0]);
+  tracker.consume();
+
+  tracker.priority_changed(c0);
+  EXPECT_EQ(tracker.level(c0), sched::DirtyLevel::kKeyOnly);
+  tracker.coflow_changed(c0);
+  EXPECT_EQ(tracker.level(c0), sched::DirtyLevel::kRecompute);
+  // A later key-only mark must not downgrade the recompute.
+  tracker.priority_changed(c0);
+  EXPECT_EQ(tracker.level(c0), sched::DirtyLevel::kRecompute);
+  // Deduplicated: three marks, one dirty entry.
+  EXPECT_EQ(tracker.dirty().size(), 1u);
+
+  tracker.consume();
+  EXPECT_TRUE(tracker.dirty().empty());
+  EXPECT_EQ(tracker.level(c0), sched::DirtyLevel::kClean);
+}
+
+TEST(DirtyTracker, CpuSamplingDirtiesOnValueChangesOnly) {
+  TrackerWorld w;
+  const auto c0 = w.add_coflow({{0, 1}});
+  w.add_coflow({{1, 0}});
+  sched::DirtyTracker tracker(2);
+  tracker.bind_flows(w.flows.data(), w.flows.size());
+  for (const auto& c : w.coflows) tracker.coflow_arrived(&c);
+  tracker.consume();
+
+  // Constant provider: the first sample records, later samples never dirty.
+  const cpu::ConstantCpu constant(0.9);
+  tracker.sample_cpu(constant, 0.0);
+  EXPECT_TRUE(tracker.dirty().empty());
+  tracker.sample_cpu(constant, 10.0);
+  EXPECT_TRUE(tracker.dirty().empty());
+
+  // Windowed provider on port 0 only: idle until t=1, busy after. The
+  // busy transition changes headroom at port 0 (and port 1 — same windows),
+  // dirtying the coflows *sourced* at those ports.
+  sched::DirtyTracker tracker2(2);
+  tracker2.bind_flows(w.flows.data(), w.flows.size());
+  for (const auto& c : w.coflows) tracker2.coflow_arrived(&c);
+  tracker2.consume();
+  const cpu::WindowedCpu windowed({{0.0, 1.0}}, 0.9, 0.0);
+  tracker2.sample_cpu(windowed, 0.5);  // first sample: record only
+  EXPECT_TRUE(tracker2.dirty().empty());
+  tracker2.sample_cpu(windowed, 0.6);  // unchanged values: no dirt
+  EXPECT_TRUE(tracker2.dirty().empty());
+  tracker2.sample_cpu(windowed, 2.0);  // idle -> busy: both src ports moved
+  EXPECT_EQ(tracker2.dirty().size(), 2u);
+  EXPECT_EQ(tracker2.level(c0), sched::DirtyLevel::kRecompute);
+}
+
+// ---- RankIndex unit tests ----
+
+TEST(RankIndex, OrderedIterationAndUpdate) {
+  sched::RankIndex index;
+  index.insert_or_update(7, {3.0, 0.0, 7});
+  index.insert_or_update(2, {1.0, 0.0, 2});
+  index.insert_or_update(5, {2.0, 0.0, 5});
+  auto order = [&] {
+    std::vector<fabric::CoflowId> ids;
+    index.for_each([&](fabric::CoflowId id) { ids.push_back(id); });
+    return ids;
+  };
+  EXPECT_EQ(order(), (std::vector<fabric::CoflowId>{2, 5, 7}));
+
+  // Decrease-key moves the coflow; size is unchanged.
+  index.insert_or_update(7, {0.5, 0.0, 7});
+  EXPECT_EQ(order(), (std::vector<fabric::CoflowId>{7, 2, 5}));
+  EXPECT_EQ(index.size(), 3u);
+
+  // Re-insert with the identical key is a no-op.
+  index.insert_or_update(5, {2.0, 0.0, 5});
+  EXPECT_EQ(order(), (std::vector<fabric::CoflowId>{7, 2, 5}));
+
+  // Ties on the primary key fall back to arrival, then id.
+  index.insert_or_update(9, {2.0, 0.0, 9});
+  index.insert_or_update(1, {2.0, -1.0, 1});
+  EXPECT_EQ(order(), (std::vector<fabric::CoflowId>{7, 2, 1, 5, 9}));
+
+  index.erase(2);
+  EXPECT_FALSE(index.contains(2));
+  EXPECT_TRUE(index.contains(5));
+  EXPECT_EQ(order(), (std::vector<fabric::CoflowId>{7, 1, 5, 9}));
+  index.erase(2);  // double-erase is a no-op
+  EXPECT_EQ(index.size(), 4u);
+
+  index.clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.contains(7));
+}
+
+TEST(RankIndex, InfinityKeysRankLastAndTieById) {
+  // A failed link makes Γ infinite; +inf keys must sort after every finite
+  // key and tie-break among themselves by (arrival, id) — matching the
+  // full-path stable_sort exactly.
+  const double inf = std::numeric_limits<double>::infinity();
+  sched::RankIndex index;
+  index.insert_or_update(4, {inf, 1.0, 4});
+  index.insert_or_update(3, {2.0, 0.0, 3});
+  index.insert_or_update(6, {inf, 1.0, 6});
+  std::vector<fabric::CoflowId> ids;
+  index.for_each([&](fabric::CoflowId id) { ids.push_back(id); });
+  EXPECT_EQ(ids, (std::vector<fabric::CoflowId>{3, 4, 6}));
+}
+
+}  // namespace

@@ -17,13 +17,22 @@ and the tolerance absorbs runner jitter.
 
 Usage:
   tools/check_bench_regression.py --baseline BENCH_engine.json \
-      --current bench_out.json [--tolerance 0.25]
+      [--baseline BENCH_scale.json ...] --current bench_out.json \
+      [--tolerance 0.25] [--metric-tolerance 'bench_engine_scale/*=0.6' ...]
+
+--baseline is repeatable: the files merge in order, later files winning on
+conflicting (bench, metric) keys. --metric-tolerance overrides the global
+tolerance for matching metrics; PATTERN is an fnmatch glob tried against
+"<bench>/<metric>" and then against the bare metric name, first matching
+override (in argument order) wins. Wall-clock-dominated benches get looser
+gates that way without loosening the cheap, stable microbenches.
 
 Exits 0 when every gated metric is within tolerance (or has no baseline),
 1 on any regression, 2 on malformed input.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -65,9 +74,43 @@ def direction(metric):
     return None
 
 
+def parse_metric_tolerances(specs):
+    """Parses repeated PATTERN=TOL specs into [(pattern, tol)], in order."""
+    out = []
+    for spec in specs or []:
+        pattern, sep, tol = spec.rpartition("=")
+        if not sep or not pattern:
+            raise SystemExit(
+                f"error: --metric-tolerance {spec!r}: expected PATTERN=TOL"
+            )
+        try:
+            out.append((pattern, float(tol)))
+        except ValueError:
+            raise SystemExit(
+                f"error: --metric-tolerance {spec!r}: TOL must be a number"
+            )
+    return out
+
+
+def tolerance_for(key, overrides, default):
+    """First override whose glob matches "bench/metric" or the bare metric."""
+    qualified = f"{key[0]}/{key[1]}"
+    for pattern, tol in overrides:
+        if fnmatch.fnmatch(qualified, pattern) or fnmatch.fnmatch(
+            key[1], pattern
+        ):
+            return tol
+    return default
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        required=True,
+        help="baseline JSON file; repeatable, later files win on conflicts",
+    )
     parser.add_argument("--current", required=True)
     parser.add_argument(
         "--tolerance",
@@ -75,9 +118,19 @@ def main():
         default=0.25,
         help="allowed relative regression (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--metric-tolerance",
+        action="append",
+        metavar="PATTERN=TOL",
+        help="per-metric tolerance override; PATTERN is an fnmatch glob "
+        "against '<bench>/<metric>' or the bare metric name",
+    )
     args = parser.parse_args()
+    overrides = parse_metric_tolerances(args.metric_tolerance)
 
-    baseline = load_metrics(args.baseline)
+    baseline = {}
+    for path in args.baseline:
+        baseline.update(load_metrics(path))
     current = load_metrics(args.current)
     if not current:
         print(f"error: no gauge metrics found in {args.current}")
@@ -91,26 +144,27 @@ def main():
             continue
         cur = current[key]
         checked += 1
+        tolerance = tolerance_for(key, overrides, args.tolerance)
         if sense == "down":
-            limit = base * (1.0 + args.tolerance)
+            limit = base * (1.0 + tolerance)
             ok = cur <= limit
             delta = (cur / base - 1.0) if base > 0 else 0.0
         else:
-            limit = base / (1.0 + args.tolerance)
+            limit = base / (1.0 + tolerance)
             ok = cur >= limit
             delta = (base / cur - 1.0) if cur > 0 else float("inf")
         status = "ok" if ok else "REGRESSED"
         print(
             f"{status:>9}  {key[0]}  {key[1]}: "
             f"baseline={base:.4g} current={cur:.4g} "
-            f"({delta:+.1%} vs tolerance {args.tolerance:.0%})"
+            f"({delta:+.1%} vs tolerance {tolerance:.0%})"
         )
         if not ok:
             failures.append(key)
 
     print(
-        f"\n{checked} timing metric(s) checked against {args.baseline}; "
-        f"{len(failures)} regression(s)"
+        f"\n{checked} timing metric(s) checked against "
+        f"{', '.join(args.baseline)}; {len(failures)} regression(s)"
     )
     if checked == 0:
         print("warning: baseline and current share no timing metrics")
