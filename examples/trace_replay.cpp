@@ -10,6 +10,14 @@
 //   ./trace_replay --degrade-rate=0.05 --degrade-seed=7   (replay the same
 //       trace against a degrading fabric: seeded link failures/brownouts;
 //       rate 0 — the default — is byte-identical to the static fabric)
+//   ./trace_replay --deadline-fraction=0.7 --scheduler=DEADLINE-FVDF \
+//       --admission   (generate SLO deadlines on 70% of coflows, schedule
+//       them deadline-aware, and gate arrivals through admission control
+//       with expiry shedding; see DESIGN.md section 12)
+//
+// Scheduler names: sched::known_scheduler_list() — e.g. FVDF, FVDF-NC,
+// DEADLINE-FVDF, SEBF, AALO, FIFO, PER-FLOW-FAIR. Unknown names raise an
+// error listing every registered scheduler.
 #include <fstream>
 #include <iostream>
 
@@ -38,6 +46,11 @@ int main(int argc, char** argv) {
     gen.size_alpha = 0.15;
     gen.width_hi = static_cast<std::size_t>(flags.get_int("width", 6));
     gen.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+    gen.deadline_fraction = flags.get_double("deadline-fraction", 0.0);
+    gen.deadline_ref_bandwidth =
+        common::mbps(flags.get_double("bandwidth_mbps", 100));
+    gen.deadline_slack_lo = flags.get_double("deadline-slack-lo", 1.5);
+    gen.deadline_slack_hi = flags.get_double("deadline-slack-hi", 4.0);
     trace = workload::generate_trace(gen);
   }
 
@@ -63,6 +76,12 @@ int main(int argc, char** argv) {
   config.degradation.rate = flags.get_double("degrade-rate", 0.0);
   config.degradation.seed =
       static_cast<std::uint64_t>(flags.get_int("degrade-seed", 1));
+  config.admission.enabled = flags.has("admission");
+  config.admission.reject_margin =
+      flags.get_double("admission-reject-margin", 1.0);
+  config.admission.max_slo_share =
+      flags.get_double("admission-max-slo-share", 0.9);
+  config.admission.shed_expired = flags.get_int("admission-shed", 1) != 0;
 
   const auto scheduler = sim::make_scheduler(name);
   const sim::Metrics m =
@@ -92,6 +111,22 @@ int main(int argc, char** argv) {
                    std::to_string(m.degradation.stalled_flow_slices)});
     table.add_row({"compression flips",
                    std::to_string(m.degradation.compression_flips)});
+  }
+  if (m.deadline_coflows() > 0 || config.admission.enabled) {
+    table.add_row({"deadline coflows", std::to_string(m.deadline_coflows())});
+    table.add_row({"deadlines met", std::to_string(m.deadlines_met())});
+    table.add_row({"deadline met fraction",
+                   common::fmt_percent(m.deadline_met_fraction())});
+    table.add_row({"goodput bytes", common::fmt_bytes(m.goodput_bytes())});
+    if (config.admission.enabled) {
+      table.add_row({"admitted / degraded / deferred",
+                     std::to_string(m.slo.admitted) + " / " +
+                         std::to_string(m.slo.degraded) + " / " +
+                         std::to_string(m.slo.deferred)});
+      table.add_row({"rejected at arrival", std::to_string(m.slo.rejected)});
+      table.add_row({"shed mid-flight", std::to_string(m.slo.shed_midflight)});
+      table.add_row({"shed bytes", common::fmt_bytes(m.slo.shed_bytes)});
+    }
   }
   table.print(std::cout);
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "sched/deadline_fvdf.hpp"
+#include "sched/registry.hpp"
 
 namespace swallow::core {
 
@@ -267,7 +269,10 @@ std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name) {
     options.force_compression = true;
     return std::make_unique<FvdfScheduler>(options);
   }
-  throw std::out_of_range("make_fvdf: unknown variant " + name);
+  if (key == "DEADLINE-FVDF" || key == "DFVDF")
+    return sched::make_deadline_fvdf(key);
+  throw std::out_of_range("make_fvdf: unknown variant " + name + " (known: " +
+                          sched::known_scheduler_list() + ")");
 }
 
 }  // namespace swallow::core

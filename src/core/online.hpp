@@ -111,7 +111,9 @@ class FvdfScheduler final : public sched::Scheduler {
 
 /// Factory matching sched::make_baseline's shape. Recognized names:
 /// "FVDF" (full), "FVDF-NC" (compression off), "FVDF-NOUPGRADE",
-/// "FVDF-NOBACKFILL". Throws std::out_of_range otherwise.
+/// "FVDF-NOBACKFILL", "FVDF-BLIND", plus "DEADLINE-FVDF"/"DFVDF"
+/// (sched/deadline_fvdf.hpp). Throws std::out_of_range otherwise, listing
+/// every known scheduler name.
 std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name);
 
 }  // namespace swallow::core

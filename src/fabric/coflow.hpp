@@ -22,6 +22,22 @@ using JobId = std::uint64_t;
 /// Volumes below this many bytes count as zero (fluid-model epsilon).
 inline constexpr common::Bytes kVolumeEpsilon = 1e-6;
 inline constexpr common::Seconds kNeverCompleted = -1.0;
+/// Absolute deadline of a best-effort coflow: never.
+inline constexpr common::Seconds kNoDeadline =
+    std::numeric_limits<common::Seconds>::infinity();
+
+/// Where a coflow sits on the SLO shedding ladder (DESIGN.md section 12).
+/// Best-effort coflows never leave kBestEffort; deadline coflows start at
+/// kAdmitted and may be demoted by the admission gate (arrival) or the
+/// deadline scheduler (mid-flight).
+enum class SloClass : std::uint8_t {
+  kBestEffort = 0,  ///< no deadline; served in FVDF order
+  kAdmitted = 1,    ///< deadline feasible at admission
+  kDegraded = 2,    ///< admitted with compression priced out (beta forced 0)
+  kDeferred = 3,    ///< infeasible at arrival; served by leftovers until
+                    ///< capacity recovers or the deadline expires
+  kRejected = 4,    ///< refused at arrival or shed mid-flight; volume dropped
+};
 
 struct Flow {
   FlowId id = 0;
@@ -59,10 +75,14 @@ struct Coflow {
   JobId job = 0;
   common::Seconds arrival = 0;
   common::Seconds completion = kNeverCompleted;
+  /// Absolute wall-clock SLO; kNoDeadline (+inf) means best-effort.
+  common::Seconds deadline = kNoDeadline;
   double priority = 1.0;  ///< paper's P, upgraded by 1.2x at each event
+  SloClass slo = SloClass::kBestEffort;
   std::vector<FlowId> flows;
 
   bool completed() const { return completion >= 0; }
+  bool has_deadline() const { return deadline < kNoDeadline; }
 };
 
 /// Read-only view of the flows of one coflow (resolved from ids).

@@ -1,0 +1,502 @@
+#include "sched/deadline_fvdf.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace swallow::sched {
+
+namespace {
+
+std::uint64_t stamp_of(const std::vector<std::uint64_t>& v,
+                       fabric::CoflowId id) {
+  return id < v.size() ? v[id] : 0;
+}
+
+void set_stamp(std::vector<std::uint64_t>& v, fabric::CoflowId id,
+               std::uint64_t round) {
+  if (id >= v.size()) v.resize(id + 1, 0);
+  v[id] = round;
+}
+
+}  // namespace
+
+DeadlineFvdfScheduler::DeadlineFvdfScheduler(DeadlineFvdfOptions options)
+    : options_(options) {}
+
+std::string DeadlineFvdfScheduler::name() const { return "DEADLINE-FVDF"; }
+
+bool DeadlineFvdfScheduler::starved(const fabric::Coflow& c) const {
+  return any_deadline_ && c.priority >= options_.starvation_priority;
+}
+
+template <typename GammaNcFn>
+DeadlineFvdfScheduler::SloRank DeadlineFvdfScheduler::classify(
+    const fabric::Coflow& c, common::Seconds gamma_beta, bool has_beta,
+    common::Seconds now, GammaNcFn&& gamma_nc) const {
+  SloRank r;
+  common::Seconds g = gamma_beta;
+  bool uncompressed = false;  // g already holds the no-compression Gamma
+  if (c.slo == fabric::SloClass::kDegraded) {
+    // Admission degraded this coflow for its lifetime: compression never
+    // re-enables, so rank it by its uncompressed Gamma.
+    r.degrade = true;
+    if (has_beta) g = gamma_nc();
+    uncompressed = true;
+  }
+  if (c.has_deadline() && now < c.deadline) {
+    const common::Seconds slack = c.deadline - now;
+    const double sf = options_.slack_factor;
+    if (g <= sf * slack) {
+      r.band = 1;
+    } else if (!uncompressed && has_beta) {
+      // Mini shedding ladder, round-local: the compressed estimate misses
+      // the deadline (the CPU bill or a throttled compressor is too slow),
+      // but shipping raw still fits — degrade before deferring.
+      const common::Seconds gnc = gamma_nc();
+      if (gnc <= sf * slack) {
+        g = gnc;
+        r.degrade = true;
+        r.band = 1;
+      } else {
+        r.band = 3;
+      }
+    } else {
+      r.band = 3;
+    }
+    r.gamma = g;
+    r.primary = c.deadline;  // EDF within bands 1 and 3
+    // Band 1 flips to 3 when the shrinking slack crosses Gamma; band 3
+    // flips to 2 at expiry. Both instants re-derive from classify at
+    // refresh time, so a conservative (early) horizon is always safe.
+    r.horizon = r.band == 1 ? c.deadline - g / sf : c.deadline;
+    return r;
+  }
+  // Best-effort or expired deadline: plain FVDF order, with the starvation
+  // promotion ahead of the deadline band once the priority class says the
+  // coflow has waited long enough.
+  r.band = starved(c) ? 0 : 2;
+  r.gamma = g;
+  r.primary = options_.base.online ? g / std::max(c.priority, 1.0) : g;
+  return r;
+}
+
+fabric::Allocation DeadlineFvdfScheduler::schedule(const SchedContext& ctx) {
+  ++round_;
+  const std::uint64_t prev = round_ - 1;
+
+  // Upgrade (Pseudocode 3), verbatim from FvdfScheduler: age only coflows
+  // that got no service out of the previous decision, at coflow events.
+  if (options_.base.upgrade && options_.base.online && ctx.coflow_event) {
+    for (fabric::Coflow* c : ctx.coflows) {
+      if (stamp_of(seen_round_, c->id) != prev ||
+          stamp_of(served_round_, c->id) == prev)
+        continue;
+      if (c->priority < 1.0) c->priority = 1.0;
+      c->priority *= core::kPriorityLogBase;
+      if (ctx.tracker != nullptr) ctx.tracker->priority_changed(c->id);
+      if (ctx.sink != nullptr) {
+        obs::emit_instant(ctx.sink, obs::sim_ts(ctx.now), "priority_upgrade",
+                          "dfvdf",
+                          obs::Args()
+                              .add("coflow", std::int64_t(c->id))
+                              .add("priority", c->priority)
+                              .str());
+        ctx.sink->registry().counter("dfvdf.priority_upgrades").add();
+      }
+    }
+  }
+
+  const bool incremental = ctx.tracker != nullptr && ctx.sink == nullptr;
+  fabric::Allocation alloc =
+      incremental ? schedule_incremental(ctx) : schedule_full(ctx);
+
+  for (const fabric::Coflow* c : ctx.coflows)
+    set_stamp(seen_round_, c->id, round_);
+  for (const fabric::Flow* f : ctx.flows)
+    if (alloc.rate(f->id) > 0 || alloc.compress(f->id))
+      set_stamp(served_round_, f->coflow, round_);
+  return alloc;
+}
+
+fabric::Allocation DeadlineFvdfScheduler::schedule_full(
+    const SchedContext& ctx) {
+  const SchedContext* use = &ctx;
+  SchedContext local;
+  if (!options_.base.compression) {
+    local = ctx;
+    local.codec = nullptr;
+    use = &local;
+  }
+  const SchedContext& sctx = *use;
+
+  std::vector<core::CoflowEstimate> estimates = core::time_calculation(
+      sctx, options_.base.online, options_.base.force_compression);
+
+  any_deadline_ = false;
+  for (const fabric::Coflow* c : sctx.coflows) {
+    if (c->has_deadline() && c->slo != fabric::SloClass::kRejected) {
+      any_deadline_ = true;
+      break;
+    }
+  }
+
+  core::EvalEnv nc_env = core::eval_env(sctx);
+  nc_env.codec = nullptr;
+
+  struct Ranked {
+    core::CoflowEstimate* est;
+    SloRank rank;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(estimates.size());
+  for (core::CoflowEstimate& est : estimates) {
+    if (est.coflow->slo == fabric::SloClass::kRejected) continue;
+    bool has_beta = false;
+    for (std::size_t i = 0; i < est.beta.size(); ++i) has_beta |= est.beta[i];
+    auto gamma_nc = [&est, &nc_env]() {
+      common::Seconds g = 0;
+      for (const fabric::Flow* f : est.flows)
+        g = std::max(g, core::evaluate_flow(nc_env, *f, false).fct);
+      return g;
+    };
+    SloRank rank =
+        classify(*est.coflow, est.gamma, has_beta, sctx.now, gamma_nc);
+    if (rank.degrade)
+      for (std::size_t i = 0; i < est.beta.size(); ++i) est.beta[i] = false;
+    ranked.push_back(Ranked{&est, rank});
+  }
+  // (band, primary, arrival, id): with zero finite deadlines every entry is
+  // band 2 with primary = adjusted Gamma, which is FVDF's exact sort.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.rank.band != b.rank.band)
+                       return a.rank.band < b.rank.band;
+                     if (a.rank.primary != b.rank.primary)
+                       return a.rank.primary < b.rank.primary;
+                     if (a.est->coflow->arrival != b.est->coflow->arrival)
+                       return a.est->coflow->arrival < b.est->coflow->arrival;
+                     return a.est->coflow->id < b.est->coflow->id;
+                   });
+
+  fabric::Allocation alloc;
+  fabric::PortHeadroom headroom(*sctx.fabric);
+  for (const Ranked& rk : ranked) {
+    const core::CoflowEstimate& est = *rk.est;
+    // Feasible deadline coflows (band 1) are paced, Varys-style: dispose
+    // over the remaining slack (less one slice of safety margin) instead of
+    // over Gamma, so a deadline coflow takes only the rate it needs and the
+    // freed capacity serves later-deadline and best-effort work. EDF then
+    // decides only who wins when the *needed* rates contend. The max with
+    // Gamma keeps the ASAP floor once the slack tightens to the bound.
+    common::Seconds dispose = std::max(rk.rank.gamma, sctx.slice);
+    if (rk.rank.band == 1)
+      dispose = std::max(dispose,
+                         rk.est->coflow->deadline - sctx.now - sctx.slice);
+    for (std::size_t i = 0; i < est.flows.size(); ++i) {
+      const fabric::Flow* f = est.flows[i];
+      if (est.beta[i]) {
+        alloc.set_compress(f->id, true);
+        alloc.set_rate(f->id, 0.0);
+        continue;
+      }
+      const common::Bps want = f->volume() / dispose;
+      const common::Bps r = std::min(want, headroom.available(*f));
+      alloc.set_rate(f->id, r);
+      headroom.consume(*f, r);
+    }
+  }
+  if (options_.base.backfill) {
+    for (const Ranked& rk : ranked) {
+      const core::CoflowEstimate& est = *rk.est;
+      for (std::size_t i = 0; i < est.flows.size(); ++i) {
+        if (est.beta[i]) continue;
+        const fabric::Flow* f = est.flows[i];
+        const common::Bps extra = headroom.available(*f);
+        if (extra <= 0) continue;
+        alloc.set_rate(f->id, alloc.rate(f->id) + extra);
+        headroom.consume(*f, extra);
+      }
+    }
+  }
+  return alloc;
+}
+
+fabric::Allocation DeadlineFvdfScheduler::schedule_incremental(
+    const SchedContext& ctx) {
+  const DirtyTracker& tracker = *ctx.tracker;
+  core::EvalEnv env = core::eval_env(ctx);
+  if (!options_.base.compression) env.codec = nullptr;
+  core::EvalEnv nc_env = env;
+  nc_env.codec = nullptr;
+
+  if (bound_tracker_ != ctx.tracker || session_ != tracker.session()) {
+    bound_tracker_ = ctx.tracker;
+    session_ = tracker.session();
+    for (RankIndex& idx : xmit_) idx.clear();
+    cache_.clear();
+    beta_.assign(tracker.flow_count(), 0);
+    horizon_heap_ = {};
+    horizon_round_.clear();
+    deadline_resident_ = 0;
+    need_global_rekey_ = false;
+    // Pre-register the deadline residents so every refresh below classifies
+    // against the final any_deadline_ value, whatever the coflow order.
+    for (const fabric::Coflow* c : ctx.coflows) {
+      if (!c->has_deadline() || c->slo == fabric::SloClass::kRejected)
+        continue;
+      if (c->id >= cache_.size()) cache_.resize(c->id + 1);
+      cache_[c->id].counted = true;
+      ++deadline_resident_;
+    }
+    any_deadline_ = deadline_resident_ > 0;
+    for (const fabric::Coflow* c : ctx.coflows) {
+      if (c->slo == fabric::SloClass::kRejected) continue;
+      refresh_coflow(ctx, env, nc_env, *c);
+    }
+    need_global_rekey_ = false;  // rebuild classified everything coherently
+  } else {
+    any_deadline_ = deadline_resident_ > 0;
+    for (const fabric::CoflowId id : tracker.dirty()) {
+      const fabric::Coflow* c = tracker.coflow(id);
+      if (c == nullptr) continue;
+      if (c->completed() || c->slo == fabric::SloClass::kRejected) {
+        drop_coflow(id);
+        continue;
+      }
+      if (tracker.level(id) == DirtyLevel::kKeyOnly && id < cache_.size() &&
+          cache_[id].valid) {
+        rekey_coflow(*c);
+      } else {
+        refresh_coflow(ctx, env, nc_env, *c);
+      }
+    }
+  }
+
+  // Time-driven reclassifications: pop every horizon within one slice of
+  // now (the pad absorbs FP drift in the stored horizon; classify is the
+  // authority) and refresh, unless this round already refreshed the coflow.
+  horizon_due_.clear();
+  const common::Seconds due = ctx.now + ctx.slice;
+  while (!horizon_heap_.empty() && horizon_heap_.top().first <= due) {
+    const fabric::CoflowId id = horizon_heap_.top().second;
+    horizon_heap_.pop();
+    if (id >= cache_.size() || !cache_[id].valid) continue;
+    if (stamp_of(horizon_round_, id) == round_) continue;
+    set_stamp(horizon_round_, id, round_);
+    horizon_due_.push_back(id);
+  }
+  for (const fabric::CoflowId id : horizon_due_) {
+    const fabric::Coflow* c = tracker.coflow(id);
+    if (c == nullptr || c->completed() ||
+        c->slo == fabric::SloClass::kRejected) {
+      drop_coflow(id);
+      continue;
+    }
+    refresh_coflow(ctx, env, nc_env, *c);
+  }
+
+  if (need_global_rekey_) {
+    rekey_all(ctx);
+    need_global_rekey_ = false;
+  }
+  ctx.tracker->consume();
+
+  // Volume disposal over the memoized lanes, walking bands 0..3; each band
+  // index yields the batch path's (primary, arrival, id) sequence, and the
+  // band-major walk reproduces its four-way sort exactly. Beta switches
+  // install in one bulk copy; the walks stop at port exhaustion.
+  fabric::Allocation alloc;
+  alloc.reserve(tracker.flow_count());
+  alloc.set_compress_all(beta_);
+  fabric::PortHeadroom headroom(*ctx.fabric);
+  bool more = true;
+  for (int b = 0; b < kNumBands && more; ++b) {
+    xmit_[b].for_each_while([&](fabric::CoflowId id) {
+      const CachedCoflow& cc = cache_[id];
+      // Band 1 is deadline-paced: the disposal horizon depends on `now`, so
+      // the want is computed live at walk time (identical expression to the
+      // batch path — cached wants would go stale between refreshes). Other
+      // bands replay the memoized Gamma-paced wants.
+      common::Seconds dispose = 0;
+      if (b == 1)
+        dispose = std::max(std::max(cc.gamma, ctx.slice),
+                           tracker.coflow(id)->deadline - ctx.now - ctx.slice);
+      for (const Lane& l : cc.lanes) {
+        if (l.beta) continue;
+        const common::Bps want =
+            b == 1 ? tracker.flow(l.id).volume() / dispose : l.want;
+        const common::Bps r =
+            std::min(want, headroom.available(l.src, l.dst));
+        if (r > 0) {
+          alloc.set_rate(l.id, r);
+          headroom.consume(l.src, l.dst, r);
+        }
+      }
+      more = !headroom.exhausted();
+      return more;
+    });
+  }
+  if (options_.base.backfill && !headroom.exhausted()) {
+    more = true;
+    for (int b = 0; b < kNumBands && more; ++b) {
+      xmit_[b].for_each_while([&](fabric::CoflowId id) {
+        const CachedCoflow& cc = cache_[id];
+        for (const Lane& l : cc.lanes) {
+          if (l.beta) continue;
+          const common::Bps extra = headroom.available(l.src, l.dst);
+          if (extra <= 0) continue;
+          alloc.set_rate(l.id, alloc.rate(l.id) + extra);
+          headroom.consume(l.src, l.dst, extra);
+        }
+        more = !headroom.exhausted();
+        return more;
+      });
+    }
+  }
+  return alloc;
+}
+
+void DeadlineFvdfScheduler::refresh_coflow(const SchedContext& ctx,
+                                           const core::EvalEnv& env,
+                                           const core::EvalEnv& nc_env,
+                                           const fabric::Coflow& c) {
+  if (c.id >= cache_.size()) cache_.resize(c.id + 1);
+  CachedCoflow& cc = cache_[c.id];
+  for (const Lane& l : cc.lanes)
+    if (l.beta) beta_[l.id] = 0;
+  const std::uint8_t old_band = cc.band;
+  const bool was_valid = cc.valid;
+  cc.valid = true;
+  cc.arrival = c.arrival;
+  cc.gamma = 0;
+  cc.has_xmit = false;
+  cc.horizon = fabric::kNoDeadline;
+  cc.lanes.clear();
+  if (c.has_deadline() && !cc.counted) {
+    cc.counted = true;
+    if (++deadline_resident_ == 1) need_global_rekey_ = true;
+    any_deadline_ = true;
+  }
+  set_stamp(horizon_round_, c.id, round_);
+
+  const DirtyTracker& tracker = *ctx.tracker;
+  common::Seconds gamma_beta = 0;
+  bool has_beta = false;
+  for (const fabric::FlowId fid : c.flows) {
+    const fabric::Flow& f = tracker.flow(fid);
+    if (f.done()) continue;
+    const core::FlowEval ev =
+        core::evaluate_flow(env, f, options_.base.force_compression);
+    gamma_beta = std::max(gamma_beta, ev.fct);  // Eq. 8
+    cc.lanes.push_back(Lane{fid, f.src, f.dst, ev.beta, 0.0});
+    has_beta |= ev.beta;
+  }
+  if (cc.lanes.empty()) {
+    if (was_valid) xmit_[old_band].erase(c.id);
+    return;
+  }
+  // Same flow order as the batch path's est.flows (c.flows, done-skipped),
+  // so Gamma_nc folds to the same bits on both paths.
+  auto gamma_nc = [&c, &tracker, &nc_env]() {
+    common::Seconds g = 0;
+    for (const fabric::FlowId fid : c.flows) {
+      const fabric::Flow& f = tracker.flow(fid);
+      if (f.done()) continue;
+      g = std::max(g, core::evaluate_flow(nc_env, f, false).fct);
+    }
+    return g;
+  };
+  const SloRank rank = classify(c, gamma_beta, has_beta, ctx.now, gamma_nc);
+  cc.gamma = rank.gamma;
+  cc.horizon = rank.horizon;
+  if (rank.degrade)
+    for (Lane& l : cc.lanes) l.beta = false;
+  for (const Lane& l : cc.lanes) {
+    if (l.beta) {
+      if (l.id >= beta_.size()) beta_.resize(l.id + 1, 0);
+      beta_[l.id] = 1;
+    } else {
+      cc.has_xmit = true;
+    }
+  }
+  if (was_valid && old_band != rank.band) xmit_[old_band].erase(c.id);
+  cc.band = rank.band;
+  const common::Seconds g = std::max(cc.gamma, ctx.slice);
+  for (Lane& l : cc.lanes)
+    if (!l.beta) l.want = tracker.flow(l.id).volume() / g;
+  install(c);
+  if (cc.horizon < fabric::kNoDeadline)
+    horizon_heap_.push({cc.horizon, c.id});
+}
+
+void DeadlineFvdfScheduler::rekey_coflow(const fabric::Coflow& c) {
+  CachedCoflow& cc = cache_[c.id];
+  if (!cc.valid || cc.lanes.empty()) return;
+  if (cc.band == 0 || cc.band == 2) {
+    const std::uint8_t band = starved(c) ? 0 : 2;
+    if (band != cc.band) {
+      xmit_[cc.band].erase(c.id);
+      cc.band = band;
+    }
+  }
+  // Bands 1/3 key on the deadline: a priority bump moves nothing.
+  install(c);
+}
+
+void DeadlineFvdfScheduler::rekey_all(const SchedContext& ctx) {
+  for (fabric::CoflowId id = 0; id < cache_.size(); ++id) {
+    if (!cache_[id].valid) continue;
+    const fabric::Coflow* c = ctx.tracker->coflow(id);
+    if (c == nullptr) continue;
+    rekey_coflow(*c);
+  }
+}
+
+void DeadlineFvdfScheduler::install(const fabric::Coflow& c) {
+  CachedCoflow& cc = cache_[c.id];
+  double primary;
+  if (cc.band == 1 || cc.band == 3) {
+    primary = c.deadline;
+  } else {
+    primary =
+        options_.base.online ? cc.gamma / std::max(c.priority, 1.0) : cc.gamma;
+  }
+  const CoflowRankKey key{primary, cc.arrival, c.id};
+  if (cc.has_xmit)
+    xmit_[cc.band].insert_or_update(c.id, key);
+  else
+    xmit_[cc.band].erase(c.id);
+}
+
+void DeadlineFvdfScheduler::drop_coflow(fabric::CoflowId id) {
+  for (RankIndex& idx : xmit_) idx.erase(id);
+  if (id < cache_.size()) {
+    CachedCoflow& cc = cache_[id];
+    for (const Lane& l : cc.lanes)
+      if (l.beta) beta_[l.id] = 0;
+    if (cc.counted) {
+      cc.counted = false;
+      if (--deadline_resident_ == 0) need_global_rekey_ = true;
+      any_deadline_ = deadline_resident_ > 0;
+    }
+    cc.valid = false;
+    cc.has_xmit = false;
+    cc.lanes = {};  // free, not just clear: completed coflows linger
+    cc.gamma = 0;
+    cc.horizon = fabric::kNoDeadline;
+  }
+}
+
+std::unique_ptr<Scheduler> make_deadline_fvdf(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (key == "DEADLINE-FVDF" || key == "DFVDF")
+    return std::make_unique<DeadlineFvdfScheduler>();
+  throw std::out_of_range("make_deadline_fvdf: unknown variant " + name);
+}
+
+}  // namespace swallow::sched

@@ -1,0 +1,158 @@
+// Deadline-aware FVDF (DESIGN.md section 12).
+//
+// DCoflow-style feasibility pruning layered on the FVDF core: coflows are
+// ranked into four bands walked in order —
+//
+//   band 0  starvation-promoted best-effort coflows (priority class grew
+//           past `starvation_priority` while the deadline band monopolized
+//           the fabric), FVDF order;
+//   band 1  deadline coflows whose Eq. 3/7/8 completion estimate (including
+//           compression CPU cost and current per-port capacity multipliers)
+//           still fits the deadline — EDF order (earliest deadline first);
+//   band 2  best-effort and expired-deadline coflows, plain FVDF order
+//           (adjusted Gamma, arrival, id);
+//   band 3  deferred deadline coflows: infeasible on the fabric as it
+//           stands, parked on leftovers until capacity recovers or the
+//           deadline expires — EDF order.
+//
+// Inside the feasibility check the scheduler walks its own mini shedding
+// ladder: a deadline coflow whose compressed Gamma misses the deadline but
+// whose *uncompressed* Gamma fits is degraded for the round (compression's
+// CPU bill is priced out by the slack; beta forced 0), and only then
+// deferred. With zero finite deadlines every coflow lands in band 2 with
+// FVDF's exact rank key and the allocation is bit-for-bit identical to
+// FvdfScheduler — the zero-deadline A/B in CI enforces this.
+//
+// Both scheduling paths exist, mirroring FvdfScheduler: a batch path
+// (sort-all every round) and an incremental path over per-band rank indexes
+// driven by the DirtyTracker, plus a deadline horizon heap that wakes a
+// coflow for reclassification when time alone (not an event) is about to
+// flip its band — band 1 -> 3 when the shrinking slack crosses Gamma, band
+// 3 -> 2 at expiry. The two paths produce identical allocations (test_slo).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fvdf.hpp"
+#include "core/online.hpp"
+#include "sched/dirty.hpp"
+#include "sched/rank_index.hpp"
+#include "sched/scheduler.hpp"
+
+namespace swallow::sched {
+
+struct DeadlineFvdfOptions {
+  core::FvdfOptions base;
+  /// A deadline coflow is feasible while Gamma <= slack_factor * slack.
+  double slack_factor = 1.0;
+  /// Priority class at which a starved band-2 coflow is promoted ahead of
+  /// the deadline band. The default is kPriorityLogBase^12: twelve
+  /// consecutive coflow events with zero service.
+  double starvation_priority = 8.916100448256;
+};
+
+class DeadlineFvdfScheduler final : public Scheduler {
+ public:
+  explicit DeadlineFvdfScheduler(DeadlineFvdfOptions options = {});
+  std::string name() const override;
+  fabric::Allocation schedule(const SchedContext& ctx) override;
+
+  const DeadlineFvdfOptions& options() const { return options_; }
+
+ private:
+  static constexpr int kNumBands = 4;
+
+  /// One coflow's slot on the band ladder for the current instant.
+  struct SloRank {
+    std::uint8_t band = 2;
+    double primary = 0;          ///< deadline (bands 1/3) or adjusted Gamma
+    common::Seconds gamma = 0;   ///< effective Gamma (uncompressed if degraded)
+    bool degrade = false;        ///< beta forced 0 this round
+    /// Earliest instant at which time alone can change this
+    /// classification; kNoDeadline when only events can.
+    common::Seconds horizon = fabric::kNoDeadline;
+  };
+  /// `has_beta` short-circuits the uncompressed re-evaluation when no flow
+  /// chose compression (Gamma_nc would equal Gamma bit-for-bit anyway).
+  template <typename GammaNcFn>
+  SloRank classify(const fabric::Coflow& c, common::Seconds gamma_beta,
+                   bool has_beta, common::Seconds now,
+                   GammaNcFn&& gamma_nc) const;
+  bool starved(const fabric::Coflow& c) const;
+
+  fabric::Allocation schedule_full(const SchedContext& ctx);
+  fabric::Allocation schedule_incremental(const SchedContext& ctx);
+  void refresh_coflow(const SchedContext& ctx, const core::EvalEnv& env,
+                      const core::EvalEnv& nc_env, const fabric::Coflow& c);
+  /// Re-derives the rank key (and the band-0/2 promotion) from cached
+  /// Gamma; bands 1/3 key on the deadline, so priority-only dirt is a no-op.
+  void rekey_coflow(const fabric::Coflow& c);
+  /// Re-keys every cached coflow. Runs when the resident-deadline count
+  /// crosses zero: band-0 eligibility is global, so every band-0/2 key can
+  /// move. Gammas are untouched.
+  void rekey_all(const SchedContext& ctx);
+  void drop_coflow(fabric::CoflowId id);
+  void install(const fabric::Coflow& c);
+
+  DeadlineFvdfOptions options_;
+
+  // --- starvation bookkeeping, identical to FvdfScheduler ---
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> seen_round_;
+  std::vector<std::uint64_t> served_round_;
+
+  // --- incremental state, valid for one tracker session ---
+  struct Lane {
+    fabric::FlowId id = 0;
+    fabric::PortId src = 0;
+    fabric::PortId dst = 0;
+    bool beta = false;
+    common::Bps want = 0;
+  };
+  struct CachedCoflow {
+    common::Seconds gamma = 0;  ///< effective Gamma backing the rank key
+    common::Seconds arrival = 0;
+    common::Seconds horizon = fabric::kNoDeadline;
+    std::uint8_t band = 2;
+    bool valid = false;
+    bool has_xmit = false;
+    bool counted = false;  ///< contributes to deadline_resident_
+    std::vector<Lane> lanes;
+  };
+  const DirtyTracker* bound_tracker_ = nullptr;
+  std::uint64_t session_ = 0;
+  std::vector<CachedCoflow> cache_;  ///< by dense coflow id
+  /// Transmitting coflows per band, each ordered (primary, arrival, id);
+  /// walking bands 0..3 reproduces the batch path's unique sort order.
+  RankIndex xmit_[kNumBands];
+  std::vector<unsigned char> beta_;  ///< by dense flow id
+  /// Resident coflows carrying a finite deadline; band-0 promotion exists
+  /// only while this is nonzero (the batch path's any_deadline scan).
+  std::size_t deadline_resident_ = 0;
+  /// Whether any resident coflow carries a finite deadline, as of the
+  /// current classification point. The batch path scans ctx.coflows; the
+  /// incremental path mirrors deadline_resident_ > 0.
+  bool any_deadline_ = false;
+  bool need_global_rekey_ = false;
+  /// Lazy min-heap of (horizon, coflow): popped and refreshed when the
+  /// horizon falls within one slice of now. Over-popping is safe — classify
+  /// is authoritative — and refresh_coflow re-arms the next horizon, so a
+  /// coflow is refreshed at most once per round (horizon_round_ stamps).
+  std::priority_queue<std::pair<common::Seconds, fabric::CoflowId>,
+                      std::vector<std::pair<common::Seconds, fabric::CoflowId>>,
+                      std::greater<>>
+      horizon_heap_;
+  std::vector<std::uint64_t> horizon_round_;  ///< by dense coflow id
+  std::vector<fabric::CoflowId> horizon_due_;  ///< scratch for the pop loop
+};
+
+/// Factory matching make_fvdf's shape. Recognized names: "DEADLINE-FVDF"
+/// and the short alias "DFVDF". Throws std::out_of_range otherwise.
+std::unique_ptr<Scheduler> make_deadline_fvdf(const std::string& name);
+
+}  // namespace swallow::sched

@@ -38,12 +38,31 @@ std::unique_ptr<Scheduler> make_baseline(const std::string& name) {
   if (key == "LCF")
     return std::make_unique<SizeOrderScheduler>(CoflowSizeKey::kMaxFlow,
                                                 "LCF");
-  throw std::out_of_range("make_baseline: unknown scheduler " + name);
+  throw std::out_of_range("make_baseline: unknown scheduler " + name +
+                          " (known: " + known_scheduler_list() + ")");
 }
 
 std::vector<std::string> baseline_names() {
   return {"FIFO", "PFF",  "WSS", "PFP",       "SEBF",
           "SCF",  "NCF",  "LCF", "AALO",      "SINCRONIA"};
+}
+
+std::vector<std::string> core_scheduler_names() {
+  return {"FVDF",          "FVDF-NC",        "FVDF-NOUPGRADE",
+          "FVDF-NOBACKFILL", "FVDF-BLIND",   "DEADLINE-FVDF"};
+}
+
+std::string known_scheduler_list() {
+  std::string out;
+  for (const std::string& n : baseline_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  for (const std::string& n : core_scheduler_names()) {
+    out += ", ";
+    out += n;
+  }
+  return out;
 }
 
 }  // namespace swallow::sched

@@ -20,4 +20,14 @@ std::unique_ptr<Scheduler> make_baseline(const std::string& name);
 /// All distinct baseline names (aliases excluded).
 std::vector<std::string> baseline_names();
 
+/// The core-library scheduler names (FVDF variants and DEADLINE-FVDF).
+/// Listed here so error messages and --help can enumerate every scheduler
+/// without this library linking against swallow_core; construction stays in
+/// core::make_fvdf.
+std::vector<std::string> core_scheduler_names();
+
+/// Every known scheduler name (baselines + core), comma-joined for error
+/// messages and usage text.
+std::string known_scheduler_list();
+
 }  // namespace swallow::sched

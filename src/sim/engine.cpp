@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <queue>
 #include <stdexcept>
 
 #include "fabric/degradation.hpp"
@@ -136,6 +137,10 @@ Metrics run_simulation(const workload::Trace& trace,
     sc.state.id = coflows.size();
     sc.state.arrival = spec.arrival;
     sc.state.priority = 1.0;
+    // Trace deadlines are relative to arrival; the engine works in absolute
+    // simulated time from here on.
+    sc.state.deadline = spec.has_deadline() ? spec.arrival + spec.deadline
+                                            : fabric::kNoDeadline;
     sc.unfinished = spec.flows.size();
     for (const auto& fs : spec.flows) {
       fabric::Flow f;
@@ -166,6 +171,7 @@ Metrics run_simulation(const workload::Trace& trace,
   std::size_t next_arrival = 0;
   std::vector<std::size_t> active;  // indices of arrived, uncompleted coflows
   std::size_t completed = 0;
+  std::size_t rejected = 0;  // coflows dropped by the SLO admission layer
 
   // Dense per-flow decision tables refreshed after every schedule() call.
   std::vector<double> rate(flows.size(), 0.0);
@@ -183,6 +189,33 @@ Metrics run_simulation(const workload::Trace& trace,
   const bool track = event_mode && config.incremental_sched;
   sched::DirtyTracker tracker(fabric.num_ports());
   if (track) tracker.bind_flows(flows.data(), flows.size());
+
+  // ---- SLO admission control + expiry shedding (DESIGN.md section 12). ----
+  // The gate runs once per arrival against the *live* fabric; mid-flight
+  // expiry shedding drops the remaining volume of coflows that blew their
+  // deadline at the first slice boundary past it. Disabled (the default),
+  // none of this executes and the run is byte-identical to pre-SLO engines.
+  const bool admit_on = config.admission.enabled;
+  core::AdmissionController admission(config.admission, fabric);
+  SloStats sstats;
+  // Lazy min-heap of (absolute deadline, coflow index): entries whose coflow
+  // already completed or was rejected are skipped at pop time.
+  using ExpiryEntry = std::pair<common::Seconds, std::size_t>;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                      std::greater<ExpiryEntry>>
+      expiry;
+  auto next_expiry = [&]() -> common::Seconds {
+    while (!expiry.empty()) {
+      const std::size_t ci = expiry.top().second;
+      if (coflows[ci].state.completed() ||
+          coflows[ci].state.slo == fabric::SloClass::kRejected) {
+        expiry.pop();
+        continue;
+      }
+      return expiry.top().first;
+    }
+    return std::numeric_limits<common::Seconds>::infinity();
+  };
 
   // ---- Segment state. ----
   // Time is always seg_base + j * slice (never accumulated), so both modes
@@ -297,6 +330,30 @@ Metrics run_simulation(const workload::Trace& trace,
         obs::emit_instant(sink, obs::sim_ts(when), "link_up", "fabric",
                           obs::Args().add("port", port).str());
     }
+    [[gnu::noinline, gnu::cold]] static void admission_verdict(
+        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+        const char* verdict, const char* reason, common::Seconds slack) {
+      obs::emit_instant(sink, obs::sim_ts(when), "admission_verdict", "slo",
+                        obs::Args()
+                            .add("coflow", coflow)
+                            .add("verdict", verdict)
+                            .add("reason", reason)
+                            .add("slack", slack)
+                            .str());
+    }
+    [[gnu::noinline, gnu::cold]] static void coflow_rejected(
+        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+        bool midflight, common::Bytes shed) {
+      obs::emit_instant(sink, obs::sim_ts(when),
+                        midflight ? "coflow_shed" : "coflow_rejected", "slo",
+                        obs::Args()
+                            .add("coflow", coflow)
+                            .add("shed_bytes", shed)
+                            .str());
+      sink->registry()
+          .counter(midflight ? "slo.coflows_shed" : "slo.coflows_rejected")
+          .add();
+    }
     [[gnu::noinline, gnu::cold]] static void compression_done(
         obs::Sink* sink, common::Seconds now, std::int64_t flow,
         std::int64_t coflow, common::Bytes compressed) {
@@ -367,11 +424,46 @@ Metrics run_simulation(const workload::Trace& trace,
       sc.state.completion = sc.completion_max;
       ++completed;
       coflow_event = true;
+      if (admit_on) admission.release(sc.state.id);
       if (sink != nullptr) [[unlikely]]
         ColdEmit::coflow_complete(sink, sc.state.completion,
                                   std::int64_t(sc.trace_id),
                                   sc.state.completion - sc.state.arrival);
     }
+  };
+
+  // Drops a coflow's remaining volume: called at arrival (verdict kReject,
+  // before the coflow ever enters the active set) or mid-flight (deadline
+  // expired under shed_expired — caller must have folded the running segment
+  // first so no live snapshot resurrects the zeroed pools). Completions stay
+  // kNeverCompleted, so every FCT/CCT aggregate skips the shed records.
+  auto mark_rejected = [&](SimCoflow& sc, bool midflight,
+                           common::Seconds when) {
+    common::Bytes shed = 0;
+    for (const fabric::FlowId fid : sc.state.flows) {
+      fabric::Flow& f = flows[fid];
+      if (f.completed()) continue;
+      shed += f.volume();
+      f.raw_remaining = 0;
+      f.compressed_pending = 0;
+      rate[fid] = 0;
+      compress[fid] = 0;
+    }
+    sstats.shed_bytes += shed;
+    sc.state.slo = fabric::SloClass::kRejected;
+    ++rejected;
+    if (midflight) {
+      ++sstats.shed_midflight;
+      // The scheduler sees a coflow whose flows are all done and drops it
+      // from its memoized rank state.
+      if (track) tracker.coflow_changed(sc.state.id);
+    } else {
+      ++sstats.rejected;
+    }
+    admission.release(sc.state.id);
+    if (sink != nullptr) [[unlikely]]
+      ColdEmit::coflow_rejected(sink, when, std::int64_t(sc.trace_id),
+                                midflight, shed);
   };
 
   // ---- Canonical per-segment flow evolution. ----
@@ -565,7 +657,7 @@ Metrics run_simulation(const workload::Trace& trace,
     ctx.coflow_flow_offsets.push_back(ctx.flows.size());
   };
 
-  while (completed < coflows.size()) {
+  while (completed + rejected < coflows.size()) {
     const common::Seconds t = slice_time(seg_j);
     if (t > config.max_time) throw SimError("sim: exceeded max_time");
 
@@ -576,19 +668,57 @@ Metrics run_simulation(const workload::Trace& trace,
       next_capacity_change = degrade.next_change_after(t);
     }
 
-    // Activate arrivals due by now.
+    // Activate arrivals due by now, gating each through admission when the
+    // SLO layer is on. Verdicts are priced at the coflow's own arrival
+    // instant against the live fabric — both mode-independent quantities, so
+    // event and slice engines reach identical decisions.
     while (next_arrival < arrival_order.size() &&
            coflows[arrival_order[next_arrival]].state.arrival <= t + kTiny) {
-      active.push_back(arrival_order[next_arrival]);
-      if (track)
-        tracker.coflow_arrived(&coflows[arrival_order[next_arrival]].state);
-      if (sink != nullptr) [[unlikely]] {
-        const SimCoflow& sc = coflows[arrival_order[next_arrival]];
+      const std::size_t ci = arrival_order[next_arrival];
+      SimCoflow& sc = coflows[ci];
+      ++next_arrival;
+      if (sink != nullptr) [[unlikely]]
         ColdEmit::coflow_arrival(sink, sc.state.arrival,
                                  std::int64_t(sc.trace_id),
                                  std::int64_t(sc.state.flows.size()));
+      if (admit_on && sc.state.has_deadline()) {
+        ++sstats.with_deadline;
+        const core::AdmissionDecision d = admission.admit(
+            sc.state, flows, live, cpu, config.codec, sc.state.arrival);
+        if (sink != nullptr) [[unlikely]] {
+          static constexpr const char* kVerdictNames[] = {"admit", "degrade",
+                                                          "defer", "reject"};
+          ColdEmit::admission_verdict(
+              sink, sc.state.arrival, std::int64_t(sc.trace_id),
+              kVerdictNames[static_cast<std::uint8_t>(d.verdict)], d.reason,
+              sc.state.deadline - sc.state.arrival);
+        }
+        if (d.verdict == core::AdmissionVerdict::kReject) {
+          // Dropped at the door: never enters the active set, the tracker
+          // never hears of it. The arrival still counts as a coflow event.
+          mark_rejected(sc, /*midflight=*/false, sc.state.arrival);
+          need_schedule = true;
+          coflow_event = true;
+          continue;
+        }
+        switch (d.verdict) {
+          case core::AdmissionVerdict::kAdmit:
+            sc.state.slo = fabric::SloClass::kAdmitted;
+            ++sstats.admitted;
+            break;
+          case core::AdmissionVerdict::kDegrade:
+            sc.state.slo = fabric::SloClass::kDegraded;
+            ++sstats.degraded;
+            break;
+          default:
+            sc.state.slo = fabric::SloClass::kDeferred;
+            ++sstats.deferred;
+            break;
+        }
+        if (config.admission.shed_expired) expiry.emplace(sc.state.deadline, ci);
       }
-      ++next_arrival;
+      active.push_back(ci);
+      if (track) tracker.coflow_arrived(&sc.state);
       need_schedule = true;
       coflow_event = true;
     }
@@ -604,9 +734,36 @@ Metrics run_simulation(const workload::Trace& trace,
     // Fold: settle the running segment before any decision that changes the
     // constants it was snapshot under. The CPU promise expiring is a fold
     // without a schedule round (rates stand, effective compression speed is
-    // re-read); both folds are boundary-exact and mode-independent.
+    // re-read); both folds are boundary-exact and mode-independent. Expiry
+    // shedding must also fold first: zeroing a shed flow's pools under a
+    // live snapshot would be undone by the next materialize.
+    const bool shed_due = admit_on && next_expiry() <= t + kTiny;
     const bool cpu_fold_due = seg_valid && seg_j > 0 && t >= seg_cpu_T;
-    if (seg_valid && (need_schedule || cpu_fold_due)) materialize_segment();
+    if (seg_valid && (need_schedule || cpu_fold_due || shed_due))
+      materialize_segment();
+
+    if (shed_due) {
+      // Shed every coflow whose deadline passed by this boundary (the event
+      // mode caps each segment at the next expiry, so both modes shed at the
+      // same first boundary at-or-past the deadline).
+      while (next_expiry() <= t + kTiny) {
+        const std::size_t ci = expiry.top().second;
+        expiry.pop();
+        mark_rejected(coflows[ci], /*midflight=*/true, t);
+        need_schedule = true;
+        coflow_event = true;
+      }
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](std::size_t ci) {
+                                    return coflows[ci].state.slo ==
+                                           fabric::SloClass::kRejected;
+                                  }),
+                   active.end());
+      if (active.empty()) {
+        if (next_arrival >= arrival_order.size()) break;
+        continue;  // top-of-loop idle jump re-bases time at the next arrival
+      }
+    }
 
     if (need_schedule) {
       build_context();
@@ -696,6 +853,16 @@ Metrics run_simulation(const workload::Trace& trace,
                 [&](std::uint64_t n) {
                   return next_capacity_change <= slice_time(seg_j + n) + kTiny;
                 }));
+      if (admit_on) {
+        const common::Seconds nx = next_expiry();
+        if (std::isfinite(nx))
+          cap = std::min(
+              cap, first_true_near(
+                       (nx - seg_base) / config.slice - double(seg_j),
+                       [&](std::uint64_t n) {
+                         return nx <= slice_time(seg_j + n) + kTiny;
+                       }));
+      }
       if (config.utilization_sample_period > 0)
         cap = std::min(
             cap, first_true_near(
@@ -785,10 +952,12 @@ Metrics run_simulation(const workload::Trace& trace,
     }
     if (seg_has_blocked) need_schedule = true;
 
-    // Drop completed coflows from the active set.
+    // Drop completed (and, belt-and-suspenders, shed) coflows.
     active.erase(std::remove_if(active.begin(), active.end(),
                                 [&](std::size_t ci) {
-                                  return coflows[ci].state.completed();
+                                  return coflows[ci].state.completed() ||
+                                         coflows[ci].state.slo ==
+                                             fabric::SloClass::kRejected;
                                 }),
                  active.end());
 
@@ -833,6 +1002,17 @@ Metrics run_simulation(const workload::Trace& trace,
           .counter("sim.compression_flips")
           .add(dstats.compression_flips);
     }
+    if (admit_on) {
+      sink->registry().counter("slo.with_deadline").add(sstats.with_deadline);
+      sink->registry().counter("slo.admitted").add(sstats.admitted);
+      sink->registry().counter("slo.degraded").add(sstats.degraded);
+      sink->registry().counter("slo.deferred").add(sstats.deferred);
+      sink->registry().counter("slo.rejected").add(sstats.rejected);
+      sink->registry()
+          .counter("slo.shed_midflight")
+          .add(sstats.shed_midflight);
+      sink->registry().gauge("slo.shed_bytes").set(sstats.shed_bytes);
+    }
   }
 
   // ---- Emit records. ----
@@ -860,11 +1040,22 @@ Metrics run_simulation(const workload::Trace& trace,
     rec.arrival = sc.state.arrival;
     rec.completion = sc.state.completion;
     rec.isolation_bound = sc.isolation_bound;
+    rec.deadline = sc.state.deadline;
+    rec.rejected = sc.state.slo == fabric::SloClass::kRejected;
     for (const fabric::FlowId fid : sc.state.flows) {
       rec.original_bytes += flows[fid].original_bytes;
       rec.wire_bytes += flows[fid].sent;
     }
     metrics.coflows.push_back(rec);
+  }
+  metrics.slo = sstats;
+  if (sink != nullptr && admit_on) {
+    sink->registry()
+        .gauge("slo.deadlines_met")
+        .set(static_cast<double>(metrics.deadlines_met()));
+    sink->registry()
+        .gauge("slo.deadline_met_fraction")
+        .set(metrics.deadline_met_fraction());
   }
   return metrics;
 }

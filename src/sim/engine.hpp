@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "codec/codec_model.hpp"
+#include "core/admission.hpp"
 #include "cpu/cpu_model.hpp"
 #include "fabric/degradation.hpp"
 #include "fabric/fabric.hpp"
@@ -88,6 +89,15 @@ struct SimConfig {
   /// Capacity changes count as coflow events, so Pseudocode 3's priority
   /// escalation ages coflows pinned behind a failed link.
   fabric::DegradationConfig degradation;
+  /// Deadline/SLO admission control and overload shedding (DESIGN.md
+  /// section 12). Disabled by default: the arrival path is then
+  /// byte-identical to the pre-SLO engine — every coflow is admitted,
+  /// nothing is shed, and Metrics::slo stays all-zero. When enabled, each
+  /// arriving deadline coflow is priced (isolation bounds on the live
+  /// fabric) and admitted / degraded-to-uncompressed / deferred / rejected;
+  /// expired deadline coflows are shed at the first slice boundary past
+  /// their deadline, which becomes a first-class preemption point.
+  core::AdmissionConfig admission;
   /// Observability sink (obs::Tracer or custom). When set, the engine
   /// emits arrival/completion/preemption/scheduling-round trace events and
   /// wall-clock profiles of the schedule/advance phases, and the scheduler

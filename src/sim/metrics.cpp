@@ -5,25 +5,36 @@
 
 namespace swallow::sim {
 
+// Rejected/shed work never completes (completion stays kNeverCompleted);
+// every completion-time aggregate below averages over completed records
+// only, so a run with shedding reports the FCT/CCT of the work it did.
 double Metrics::avg_fct() const {
-  if (flows.empty()) return 0.0;
   double sum = 0;
-  for (const auto& f : flows) sum += f.fct();
-  return sum / static_cast<double>(flows.size());
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (!f.completed()) continue;
+    sum += f.fct();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double Metrics::avg_cct() const {
-  if (coflows.empty()) return 0.0;
   double sum = 0;
-  for (const auto& c : coflows) sum += c.cct();
-  return sum / static_cast<double>(coflows.size());
+  std::size_t n = 0;
+  for (const auto& c : coflows) {
+    if (!c.completed()) continue;
+    sum += c.cct();
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double Metrics::avg_normalized_cct() const {
   double sum = 0;
   std::size_t n = 0;
   for (const auto& c : coflows) {
-    if (c.isolation_bound <= 0) continue;
+    if (c.isolation_bound <= 0 || !c.completed()) continue;
     sum += c.normalized_cct();
     ++n;
   }
@@ -33,6 +44,7 @@ double Metrics::avg_normalized_cct() const {
 std::vector<JobRecord> Metrics::jobs() const {
   std::map<fabric::JobId, JobRecord> by_job;
   for (const auto& c : coflows) {
+    if (!c.completed()) continue;
     auto [it, inserted] = by_job.try_emplace(c.job);
     JobRecord& job = it->second;
     if (inserted) {
@@ -60,14 +72,16 @@ double Metrics::avg_jct() const {
 
 common::Cdf Metrics::fct_cdf() const {
   common::Cdf cdf;
-  for (const auto& f : flows) cdf.add(f.fct());
+  for (const auto& f : flows)
+    if (f.completed()) cdf.add(f.fct());
   cdf.finalize();
   return cdf;
 }
 
 common::Cdf Metrics::cct_cdf() const {
   common::Cdf cdf;
-  for (const auto& c : coflows) cdf.add(c.cct());
+  for (const auto& c : coflows)
+    if (c.completed()) cdf.add(c.cct());
   cdf.finalize();
   return cdf;
 }
@@ -119,12 +133,42 @@ double Metrics::avg_fct_in_size_band(common::Bytes lo,
   double sum = 0;
   std::size_t n = 0;
   for (const auto& f : flows) {
-    if (f.original_bytes >= lo && f.original_bytes < hi) {
+    if (f.completed() && f.original_bytes >= lo && f.original_bytes < hi) {
       sum += f.fct();
       ++n;
     }
   }
   return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::size_t Metrics::deadline_coflows() const {
+  std::size_t n = 0;
+  for (const auto& c : coflows)
+    if (c.has_deadline()) ++n;
+  return n;
+}
+
+std::size_t Metrics::deadlines_met() const {
+  std::size_t n = 0;
+  for (const auto& c : coflows)
+    if (c.deadline_met()) ++n;
+  return n;
+}
+
+double Metrics::deadline_met_fraction() const {
+  const std::size_t total = deadline_coflows();
+  if (total == 0) return 1.0;
+  return static_cast<double>(deadlines_met()) / static_cast<double>(total);
+}
+
+common::Bytes Metrics::goodput_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& c : coflows) {
+    if (!c.completed()) continue;
+    if (c.has_deadline() && !c.deadline_met()) continue;
+    total += c.wire_bytes;
+  }
+  return total;
 }
 
 }  // namespace swallow::sim

@@ -21,8 +21,12 @@ struct FlowRecord {
   common::Bytes original_bytes = 0;  ///< uncompressed size
   common::Bytes wire_bytes = 0;      ///< bytes actually transmitted
   common::Seconds arrival = 0;
+  /// kNeverCompleted (negative) when the flow's coflow was rejected or shed
+  /// by the SLO admission layer; such records are excluded from the FCT
+  /// aggregates below.
   common::Seconds completion = 0;
   common::Seconds fct() const { return completion - arrival; }
+  bool completed() const { return completion >= 0; }
 };
 
 struct CoflowRecord {
@@ -32,11 +36,23 @@ struct CoflowRecord {
   common::Bytes original_bytes = 0;
   common::Bytes wire_bytes = 0;
   common::Seconds arrival = 0;
+  /// kNeverCompleted (negative) when rejected/shed; excluded from CCT
+  /// aggregates.
   common::Seconds completion = 0;
   /// CCT lower bound: the coflow's effective bottleneck with the whole
   /// fabric to itself at arrival (Varys' normalization baseline).
   common::Seconds isolation_bound = 0;
+  /// Absolute SLO deadline; fabric::kNoDeadline (+inf) when best-effort.
+  common::Seconds deadline = fabric::kNoDeadline;
+  /// Refused at arrival or shed mid-flight by the admission layer.
+  bool rejected = false;
   common::Seconds cct() const { return completion - arrival; }
+  bool completed() const { return completion >= 0; }
+  bool has_deadline() const { return deadline < fabric::kNoDeadline; }
+  /// Completed at or before its deadline (false for best-effort coflows).
+  bool deadline_met() const {
+    return has_deadline() && completed() && completion <= deadline;
+  }
   /// CCT / isolation bound; >= 1 up to slice granularity.
   double normalized_cct() const {
     return isolation_bound > 0 ? cct() / isolation_bound : 0.0;
@@ -70,12 +86,26 @@ struct DegradationStats {
                                          ///< after the flow's first slice
 };
 
+/// What the SLO admission layer did to a run (all zero when
+/// SimConfig::admission is disabled). Mirrored into the obs registry as
+/// slo.* counters when a sink is attached.
+struct SloStats {
+  std::uint64_t with_deadline = 0;   ///< arrived coflows carrying a deadline
+  std::uint64_t admitted = 0;        ///< admission verdict kAdmit
+  std::uint64_t degraded = 0;        ///< kDegrade: compression priced out
+  std::uint64_t deferred = 0;        ///< kDefer: infeasible at arrival
+  std::uint64_t rejected = 0;        ///< kReject: dropped at arrival
+  std::uint64_t shed_midflight = 0;  ///< expired mid-flight, volume dropped
+  common::Bytes shed_bytes = 0;      ///< remaining volume discarded by both
+};
+
 class Metrics {
  public:
   std::vector<FlowRecord> flows;
   std::vector<CoflowRecord> coflows;
   std::vector<UtilizationSample> utilization;
   DegradationStats degradation;
+  SloStats slo;
 
   double avg_fct() const;
   double avg_cct() const;
@@ -108,6 +138,17 @@ class Metrics {
 
   /// Mean egress utilization over the sampled horizon (0 if not sampled).
   double mean_utilization() const;
+
+  // ---- SLO aggregates (trivial when the trace carries no deadlines) ----
+  /// Number of coflows that arrived with a finite deadline.
+  std::size_t deadline_coflows() const;
+  /// Deadline coflows that completed at or before their deadline.
+  std::size_t deadlines_met() const;
+  /// deadlines_met / deadline_coflows; 1.0 when the trace has no deadlines.
+  double deadline_met_fraction() const;
+  /// Wire bytes of useful work: coflows that completed and either had no
+  /// deadline or met it. Shed and deadline-missing traffic is excluded.
+  common::Bytes goodput_bytes() const;
 };
 
 }  // namespace swallow::sim

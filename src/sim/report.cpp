@@ -16,12 +16,14 @@ void write_flows_csv(std::ostream& out, const Metrics& metrics) {
 
 void write_coflows_csv(std::ostream& out, const Metrics& metrics) {
   out << "coflow_id,job_id,width,original_bytes,wire_bytes,arrival,"
-         "completion,cct,isolation_bound,normalized_cct\n";
+         "completion,cct,isolation_bound,normalized_cct,deadline,"
+         "deadline_met,rejected\n";
   for (const auto& c : metrics.coflows) {
     out << c.id << ',' << c.job << ',' << c.width << ',' << c.original_bytes
         << ',' << c.wire_bytes << ',' << c.arrival << ',' << c.completion
         << ',' << c.cct() << ',' << c.isolation_bound << ','
-        << c.normalized_cct() << '\n';
+        << c.normalized_cct() << ',' << c.deadline << ','
+        << (c.deadline_met() ? 1 : 0) << ',' << (c.rejected ? 1 : 0) << '\n';
   }
 }
 

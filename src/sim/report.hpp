@@ -13,7 +13,8 @@ namespace swallow::sim {
 void write_flows_csv(std::ostream& out, const Metrics& metrics);
 
 /// Columns: coflow_id,job_id,width,original_bytes,wire_bytes,arrival,
-/// completion,cct,isolation_bound,normalized_cct
+/// completion,cct,isolation_bound,normalized_cct,deadline,deadline_met,
+/// rejected (deadline prints "inf" for best-effort coflows)
 void write_coflows_csv(std::ostream& out, const Metrics& metrics);
 
 /// Columns: t,egress_utilization

@@ -15,8 +15,18 @@ Trace generate_trace(const GeneratorConfig& config) {
   if (config.width_hi > config.num_ports && config.distinct_senders)
     throw std::invalid_argument(
         "generator: width exceeds port count with distinct senders");
+  if (config.deadline_fraction < 0 || config.deadline_fraction > 1)
+    throw std::invalid_argument("generator: deadline fraction out of [0,1]");
+  if (config.deadline_fraction > 0 &&
+      (config.deadline_ref_bandwidth <= 0 || config.deadline_slack_lo <= 0 ||
+       config.deadline_slack_hi < config.deadline_slack_lo))
+    throw std::invalid_argument("generator: bad deadline slack parameters");
 
   common::Rng rng(config.seed);
+  // Deadlines draw from their own stream so enabling them never perturbs
+  // the base trace: the same seed yields the same coflows with or without
+  // deadlines attached (the zero-deadline A/B relies on this).
+  common::Rng deadline_rng(config.seed ^ 0x5105dead11e5ULL);
   Trace trace;
   trace.num_ports = config.num_ports;
   trace.coflows.reserve(config.num_coflows);
@@ -61,6 +71,26 @@ Trace generate_trace(const GeneratorConfig& config) {
       flow.bytes = base_size * rng.lognormal(-0.03125, 0.25);
       flow.compressible = compressible;
       coflow.flows.push_back(flow);
+    }
+
+    if (config.deadline_fraction > 0 &&
+        deadline_rng.bernoulli(config.deadline_fraction)) {
+      // Isolation CCT at the reference port speed: the busiest port's byte
+      // load over the reference bandwidth. Slack scales how forgiving the
+      // SLO is relative to a contention-free run.
+      std::vector<common::Bytes> ingress(config.num_ports, 0);
+      std::vector<common::Bytes> egress(config.num_ports, 0);
+      common::Bytes bottleneck = 0;
+      for (const FlowSpec& f : coflow.flows) {
+        ingress[f.src] += f.bytes;
+        egress[f.dst] += f.bytes;
+        bottleneck = std::max({bottleneck, ingress[f.src], egress[f.dst]});
+      }
+      const common::Seconds isolation =
+          bottleneck / config.deadline_ref_bandwidth;
+      coflow.deadline =
+          isolation * deadline_rng.uniform(config.deadline_slack_lo,
+                                           config.deadline_slack_hi);
     }
     trace.coflows.push_back(std::move(coflow));
   }

@@ -37,6 +37,17 @@ struct GeneratorConfig {
   /// semantics: mappers on distinct machines feed one reducer wave).
   bool distinct_senders = true;
 
+  /// SLO knobs: this fraction of coflows receives a deadline equal to its
+  /// isolation CCT (bottleneck-port bytes / deadline_ref_bandwidth) times a
+  /// slack multiplier drawn uniformly from [deadline_slack_lo,
+  /// deadline_slack_hi]. Deadline draws use a dedicated RNG stream derived
+  /// from `seed`, so deadline_fraction = 0 (the default) leaves the
+  /// generated trace byte-identical to the pre-deadline generator.
+  double deadline_fraction = 0.0;
+  common::Bps deadline_ref_bandwidth = common::mbps(100);
+  double deadline_slack_lo = 1.5;
+  double deadline_slack_hi = 4.0;
+
   std::uint64_t seed = 42;
 };
 

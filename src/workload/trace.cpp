@@ -66,8 +66,20 @@ class TokenReader {
 
   std::size_t line() const { return line_; }
 
+  /// Returns a previously next()-ed token to the reader; the following
+  /// next() call produces it again. Depth one — enough for the optional
+  /// `deadlines` directive lookahead.
+  void push_back(std::string token) {
+    pushed_ = std::move(token);
+    has_pushed_ = true;
+  }
+
   /// Next token, or throws naming `what` as the missing field.
   std::string next(const char* context, const char* what) {
+    if (has_pushed_) {
+      has_pushed_ = false;
+      return std::move(pushed_);
+    }
     std::string token;
     while (!(line_stream_ >> token)) {
       if (!std::getline(in_, buffer_))
@@ -105,6 +117,8 @@ class TokenReader {
   std::string buffer_;
   std::istringstream line_stream_;
   std::size_t line_ = 0;
+  std::string pushed_;
+  bool has_pushed_ = false;
 };
 
 }  // namespace
@@ -133,6 +147,12 @@ common::Bytes Trace::total_bytes() const {
   return total;
 }
 
+bool Trace::has_deadlines() const {
+  for (const auto& c : coflows)
+    if (c.has_deadline()) return true;
+  return false;
+}
+
 void Trace::sort_by_arrival() {
   std::stable_sort(coflows.begin(), coflows.end(),
                    [](const CoflowSpec& a, const CoflowSpec& b) {
@@ -147,6 +167,17 @@ Trace parse_trace(std::istream& in) {
   if (trace.num_ports == 0)
     throw TraceParseError(reader.line(), "trace: zero ports");
   const std::size_t num_coflows = reader.next_count("trace", "num_coflows");
+
+  // Optional `deadlines` directive: one lookahead token. Coflow ids are
+  // numeric, so the keyword cannot collide with the first coflow header.
+  bool has_deadlines = false;
+  if (num_coflows > 0) {
+    std::string tok = reader.next("trace", "coflow id");
+    if (tok == "deadlines")
+      has_deadlines = true;
+    else
+      reader.push_back(std::move(tok));
+  }
 
   std::unordered_set<fabric::CoflowId> seen_ids;
   trace.coflows.reserve(num_coflows);
@@ -166,6 +197,13 @@ Trace parse_trace(std::istream& in) {
     const std::size_t num_flows = reader.next_count("trace", "num_flows");
     if (num_flows == 0)
       throw TraceParseError(reader.line(), "trace: coflow with no flows");
+    if (has_deadlines) {
+      // next_finite already rejects NaN/inf/overflow ("non-finite deadline").
+      const double deadline_ms = reader.next_finite("trace", "deadline");
+      if (deadline_ms < 0)
+        throw TraceParseError(reader.line(), "trace: negative deadline");
+      coflow.deadline = deadline_ms / 1000.0;
+    }
     coflow.flows.reserve(num_flows);
     for (std::size_t j = 0; j < num_flows; ++j) {
       FlowSpec flow;
@@ -191,10 +229,17 @@ Trace parse_trace_file(const std::string& path) {
 }
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  out << trace.num_ports << ' ' << trace.coflows.size() << '\n';
+  // The `deadlines` directive and its column appear only when some coflow
+  // carries one, so pre-deadline traces round-trip byte-identically.
+  const bool deadlines = trace.has_deadlines();
+  out << trace.num_ports << ' ' << trace.coflows.size();
+  if (deadlines) out << " deadlines";
+  out << '\n';
   for (const auto& c : trace.coflows) {
     out << c.id << ' ' << c.arrival * 1000.0 << ' ' << c.job << ' '
-        << c.flows.size() << '\n';
+        << c.flows.size();
+    if (deadlines) out << ' ' << c.deadline * 1000.0;
+    out << '\n';
     for (const auto& f : c.flows)
       out << f.src << ' ' << f.dst << ' ' << f.bytes << ' '
           << (f.compressible ? 1 : 0) << '\n';

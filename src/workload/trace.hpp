@@ -8,6 +8,17 @@
 //   <coflow_id> <arrival_ms> <job_id> <num_flows>
 //   <src_port> <dst_port> <bytes> <compressible 0|1>
 //   ...
+//
+// Deadline extension (backward compatible): when the header line ends with
+// the literal directive `deadlines`, every coflow header carries one extra
+// column — the coflow's deadline in milliseconds *relative to its arrival*,
+// with 0 meaning best-effort (no deadline). The directive is unambiguous
+// because coflow ids are numeric, and traces without it parse (and
+// round-trip through write_trace) byte-identically to the original format.
+//
+//   <num_ports> <num_coflows> deadlines
+//   <coflow_id> <arrival_ms> <job_id> <num_flows> <deadline_ms>
+//   ...
 #pragma once
 
 #include <cstddef>
@@ -53,11 +64,15 @@ struct CoflowSpec {
   fabric::CoflowId id = 0;
   fabric::JobId job = 0;
   common::Seconds arrival = 0;
+  /// SLO deadline relative to arrival; 0 (the default) means best-effort.
+  /// Serialized as the optional `deadlines` column (milliseconds).
+  common::Seconds deadline = 0;
   std::vector<FlowSpec> flows;
 
   common::Bytes total_bytes() const;
   common::Bytes max_flow_bytes() const;
   std::size_t width() const { return flows.size(); }
+  bool has_deadline() const { return deadline > 0; }
 };
 
 struct Trace {
@@ -66,6 +81,9 @@ struct Trace {
 
   std::size_t total_flows() const;
   common::Bytes total_bytes() const;
+  /// True when any coflow carries a deadline (write_trace then emits the
+  /// `deadlines` directive and the extra column).
+  bool has_deadlines() const;
   /// Coflows sorted by arrival time (the simulator requires this order).
   void sort_by_arrival();
 };

@@ -100,7 +100,8 @@ TEST(EngineParity, AllSchedulersConstantCpu) {
   sim::SimConfig config;
   config.codec = &codec::default_codec_model();
 
-  std::vector<std::string> names = {"FVDF", "FVDF-NC", "FVDF-BLIND"};
+  std::vector<std::string> names = {"FVDF", "FVDF-NC", "FVDF-BLIND",
+                                    "DEADLINE-FVDF"};
   for (const std::string& n : sched::baseline_names()) names.push_back(n);
   for (const std::string& name : names)
     expect_parity(trace, fabric, cpu, name, config, name);

@@ -77,6 +77,72 @@ TEST(TraceFuzz, RejectsOutOfRangePorts) {
   EXPECT_THROW(parse_fb("4 1\n1 0.0 1 1 1 9:8\n"), TraceParseError);
 }
 
+TEST(TraceFuzz, DeadlineDirectiveParses) {
+  const Trace t = parse(
+      "4 2 deadlines\n"
+      "0 0.0 0 2 250\n"
+      "0 1 1000 1\n"
+      "1 2 2000 0\n"
+      "1 50.0 1 1 0\n"
+      "2 3 500 1\n");
+  EXPECT_TRUE(t.has_deadlines());
+  EXPECT_DOUBLE_EQ(t.coflows[0].deadline, 0.25);  // 250 ms
+  EXPECT_TRUE(t.coflows[0].has_deadline());
+  EXPECT_FALSE(t.coflows[1].has_deadline());  // 0 = best-effort
+}
+
+TEST(TraceFuzz, RejectsBadDeadlines) {
+  // Negative, NaN, infinite deadlines must throw with the header's line.
+  for (const char* bad : {"-5", "nan", "inf", "1e999"}) {
+    SCOPED_TRACE(bad);
+    const std::string text = "4 1 deadlines\n0 0.0 0 1 " + std::string(bad) +
+                             "\n0 1 1000 1\n";
+    try {
+      parse(text);
+      FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), 2u);
+    }
+  }
+  // The directive promises the column; a plain header must now fail (the
+  // missing token misaligns the block).
+  EXPECT_THROW(parse("4 1 deadlines\n0 0.0 0 1\n0 1 1000 1\n"),
+               TraceParseError);
+  // Without the directive the 5th header column is rejected, not silently
+  // swallowed.
+  EXPECT_THROW(parse("4 1\n0 0.0 0 1 250\n0 1 1000 1\n"), TraceParseError);
+}
+
+TEST(TraceFuzz, DeadlineSingleTokenMutationsNeverCrash) {
+  const char* kDeadlineTrace =
+      "4 2 deadlines\n"
+      "0 0.0 0 2 250\n"
+      "0 1 1000 1\n"
+      "1 2 2000 0\n"
+      "1 50.0 1 1 0\n"
+      "2 3 500 1\n";
+  const char* pool[] = {"nan", "inf", "-inf", "1e999", "-1", "x",
+                        "deadlines", "", "1.5.2", "18446744073709551616"};
+  std::istringstream split(kDeadlineTrace);
+  std::vector<std::string> tokens;
+  for (std::string tok; split >> tok;) tokens.push_back(tok);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (const char* garbage : pool) {
+      std::string text;
+      for (std::size_t j = 0; j < tokens.size(); ++j) {
+        text += j == i ? garbage : tokens[j].c_str();
+        text += ' ';
+      }
+      SCOPED_TRACE("token " + std::to_string(i) + " -> '" + garbage + "'");
+      try {
+        parse(text);
+      } catch (const TraceParseError&) {
+        // rejection is fine; crash/hang/other exceptions are not
+      }
+    }
+  }
+}
+
 TEST(TraceFuzz, RejectsDuplicateCoflowIds) {
   EXPECT_THROW(
       parse("4 2\n7 0.0 0 1\n0 1 10 1\n7 1.0 1 1\n1 2 20 1\n"),

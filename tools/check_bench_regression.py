@@ -6,9 +6,13 @@ Both inputs are SWALLOW_BENCH_JSON files: one JSON object per line,
 
 Only timing metrics are gated, with direction taken from the name:
 
-  *_ms           lower is better  -> fail if current > baseline * (1 + tol)
+  *_ms            lower is better  -> fail if current > baseline * (1 + tol)
   *.speedup,
-  *.scaling      higher is better -> fail if current < baseline / (1 + tol)
+  *.scaling,
+  *.met_fraction  higher is better -> fail if current < baseline / (1 + tol)
+
+(met_fraction is an SLO-quality gauge, not wall-clock, but it gates the same
+way: the deadline bench is deterministic, so any drop is a behavior change.)
 
 Everything else (JCT/CCT gauges, counters) is correctness data owned by the
 benches and tests, not a perf gate. The check is one-sided on purpose:
@@ -69,7 +73,11 @@ def direction(metric):
     """'down' if lower is better, 'up' if higher is better, None if ungated."""
     if metric.endswith("_ms"):
         return "down"
-    if metric.endswith(".speedup") or metric.endswith(".scaling"):
+    if (
+        metric.endswith(".speedup")
+        or metric.endswith(".scaling")
+        or metric.endswith(".met_fraction")
+    ):
         return "up"
     return None
 
