@@ -15,6 +15,7 @@
 // tools/check_bench_regression.py.
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -66,13 +67,17 @@ workload::Trace hot_trace(std::uint64_t seed, std::size_t num_coflows) {
 }
 
 RunResult run_once(const workload::Trace& trace, sim::EngineMode mode,
-                   const BenchKnobs& knobs) {
+                   const BenchKnobs& knobs,
+                   const std::string& recovery_dir = {},
+                   std::uint64_t checkpoint_every = 0) {
   const fabric::Fabric fabric(trace.num_ports, common::mbps(knobs.bandwidth_mbps));
   const cpu::ConstantCpu cpu(0.9);
   sim::SimConfig config;
   config.slice = knobs.slice;
   config.codec = &codec::default_codec_model();
   config.engine_mode = mode;
+  config.recovery.dir = recovery_dir;
+  config.recovery.checkpoint_every = checkpoint_every;
   auto sched = sim::make_scheduler("FVDF");
   const sim::Metrics m = run_simulation(trace, fabric, cpu, *sched, config);
   return {m.avg_cct(), m.avg_fct(), m.total_wire_bytes(), m.makespan()};
@@ -149,6 +154,48 @@ int main(int argc, char** argv) {
   std::cout << "parity: " << (parity ? "OK (bit-identical metrics)" : "FAIL")
             << "\n\n";
 
+  // --- Checkpoint overhead: the same event-mode battery with the crash
+  // tolerance layer on (write-ahead journal + a snapshot every
+  // --checkpoint-every scheduling rounds). Persistence must not perturb
+  // the simulation (bit-identical metrics) and its wall-clock cost is
+  // reported as a separate gauge so the engine.event_ms gate keeps
+  // measuring the bare hot path.
+  const auto checkpoint_every =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 64));
+  double ckpt_ms = 0;
+  bool ckpt_identical = true;
+  {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "swallow-benchck-XXXXXX")
+            .string();
+    if (::mkdtemp(tmpl.data()) != nullptr) {
+      for (std::size_t i = 0; i < runs; ++i) {
+        const std::string dir = tmpl + "/run" + std::to_string(i);
+        const double c0 = now_ms();
+        const RunResult r = run_once(traces[i], sim::EngineMode::kEventDriven,
+                                     knobs, dir, checkpoint_every);
+        ckpt_ms += now_ms() - c0;
+        if (!same(r, event_results[i])) ckpt_identical = false;
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(tmpl, ec);
+    }
+  }
+  const double ckpt_overhead =
+      event_ms > 0 ? (ckpt_ms - event_ms) / event_ms : 0;
+  common::Table ck({"recovery", "wall ms", "ms/run", "overhead"});
+  ck.add_row({"off", common::fmt_double(event_ms, 1),
+              common::fmt_double(event_ms / runs, 2), "-"});
+  ck.add_row({"every " + std::to_string(checkpoint_every) + " rounds",
+              common::fmt_double(ckpt_ms, 1),
+              common::fmt_double(ckpt_ms / runs, 2),
+              common::fmt_percent(ckpt_overhead)});
+  ck.print(std::cout);
+  std::cout << "checkpoint identity: "
+            << (ckpt_identical ? "OK (persistence does not perturb metrics)"
+                               : "FAIL")
+            << "\n\n";
+
   // --- run_batch scaling: the same event-mode battery, serial vs pool.
   auto batch_job = [&](std::size_t i) {
     return run_once(traces[i % runs], sim::EngineMode::kEventDriven, knobs);
@@ -186,7 +233,9 @@ int main(int argc, char** argv) {
   registry.gauge("batch.parallel_ms").set(pool_ms);
   registry.gauge("batch.scaling").set(scaling);
   registry.gauge("batch.threads").set(static_cast<double>(threads));
+  registry.gauge("engine.checkpoint_ms").set(ckpt_ms);
+  registry.gauge("engine.checkpoint_overhead").set(ckpt_overhead);
   emit_registry(registry);
 
-  return parity && batch_ok ? 0 : 1;
+  return parity && batch_ok && ckpt_identical ? 0 : 1;
 }

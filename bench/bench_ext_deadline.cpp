@@ -115,6 +115,61 @@ int main(int argc, char** argv) {
                     : "REGRESSION: DEADLINE-FVDF trails FVDF on met "
                       "fraction\n");
 
+  // ---- Degradation-schedule sweep (PR 7 follow-up): met fraction vs
+  // fabric degrade rate at fixed (1x) load. Link failures and brownouts
+  // shrink the very capacities the deadline machinery priced admission
+  // against, so this isolates how gracefully the SLO layer absorbs a
+  // degrading fabric. Deterministic, so the gauges gate up-direction in
+  // BENCH_deadline.json like the load-sweep ones. ----
+  const std::vector<std::pair<std::string, double>> degrade_rates = {
+      {"0pct", 0.0}, {"5pct", 0.05}, {"10pct", 0.1}, {"20pct", 0.2}};
+  const std::vector<std::string> degrade_scheds = {"FVDF", "DEADLINE-FVDF"};
+  const std::vector<Point> degrade_points = sim::run_batch(
+      degrade_rates.size() * degrade_scheds.size(),
+      [&](std::size_t i) {
+        const auto& [label, rate] = degrade_rates[i / degrade_scheds.size()];
+        const std::string& name = degrade_scheds[i % degrade_scheds.size()];
+        const workload::Trace trace = make_trace(0.5, fraction);
+        sim::SimConfig config;
+        config.codec = &codec::default_codec_model();
+        config.max_time = 72000.0;
+        config.admission.enabled = name == "DEADLINE-FVDF";
+        config.degradation.rate = rate;
+        config.degradation.seed = seed + 17;
+        config.degradation.failure_fraction = 0.25;
+        const auto scheduler = sim::make_scheduler(name);
+        const sim::Metrics m =
+            sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+        return Point{m.deadline_met_fraction(), m.goodput_bytes(), m.avg_cct(),
+                     m.slo.rejected, m.slo.shed_midflight};
+      },
+      batch);
+
+  common::Table degrade_table({"degrade rate", "scheduler", "met fraction",
+                               "goodput", "avg CCT", "rejected", "shed"});
+  for (std::size_t di = 0; di < degrade_rates.size(); ++di) {
+    double fvdf_met = 0;
+    for (std::size_t si = 0; si < degrade_scheds.size(); ++si) {
+      const Point& p = degrade_points[di * degrade_scheds.size() + si];
+      if (degrade_scheds[si] == "FVDF") fvdf_met = p.met_fraction;
+      degrade_table.add_row(
+          {degrade_rates[di].first, degrade_scheds[si],
+           common::fmt_percent(p.met_fraction), common::fmt_bytes(p.goodput),
+           common::fmt_double(p.cct, 3) + " s", std::to_string(p.rejected),
+           std::to_string(p.shed)});
+      const std::string prefix =
+          "degrade_" + degrade_rates[di].first + "." + degrade_scheds[si];
+      registry.gauge(prefix + ".met_fraction").set(p.met_fraction);
+      registry.gauge(prefix + ".goodput_bytes").set(p.goodput);
+    }
+    registry
+        .gauge("degrade_" + degrade_rates[di].first +
+               ".deadline_fvdf_met_gain")
+        .set(degrade_points[di * degrade_scheds.size() + 1].met_fraction -
+             fvdf_met);
+  }
+  degrade_table.print(std::cout);
+
   // Zero-deadline A/B: on a deadline-free trace the deadline scheduler is
   // contractually bit-identical to FVDF (same records, same bits).
   const workload::Trace plain = make_trace(0.5, 0.0);

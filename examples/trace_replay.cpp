@@ -14,6 +14,18 @@
 //       --admission   (generate SLO deadlines on 70% of coflows, schedule
 //       them deadline-aware, and gate arrivals through admission control
 //       with expiry shedding; see DESIGN.md section 12)
+//   ./trace_replay --recovery-dir=/tmp/ck --checkpoint-every=32   (crash
+//       tolerance: write-ahead journal + a snapshot every 32 scheduling
+//       rounds; see DESIGN.md section 13)
+//   ./trace_replay --recovery-dir=/tmp/ck --checkpoint-every=32 --restore
+//       (resume a killed run from its last snapshot + journal; repeat the
+//       same --checkpoint-every, since checkpoint records are journaled
+//       and replay verification must regenerate them; metrics are
+//       byte-identical to the uninterrupted run)
+//   ./trace_replay --recovery-dir=/tmp/ck --checkpoint-every=32
+//       --crash-at-event=100   (crash-injection harness: exits with code
+//       42 at the Nth journaled event — also --crash-mid-snapshot=N and
+//       --torn-tail=BYTES; the CI crash-recovery gate drives these)
 //
 // Scheduler names: sched::known_scheduler_list() — e.g. FVDF, FVDF-NC,
 // DEADLINE-FVDF, SEBF, AALO, FIFO, PER-FLOW-FAIR. Unknown names raise an
@@ -24,6 +36,7 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "cpu/cpu_model.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
@@ -83,9 +96,31 @@ int main(int argc, char** argv) {
       flags.get_double("admission-max-slo-share", 0.9);
   config.admission.shed_expired = flags.get_int("admission-shed", 1) != 0;
 
+  // Crash tolerance (DESIGN.md section 13): --recovery-dir turns on the
+  // write-ahead journal (+ snapshots with --checkpoint-every); --restore
+  // resumes a killed run; the --crash-* flags are the injection harness
+  // the CI crash-recovery gate drives (injected kills exit with code 42).
+  config.recovery.dir = flags.get("recovery-dir", "");
+  config.recovery.checkpoint_every =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
+  config.recovery.restore = flags.has("restore");
+  recovery::CrashPlan crash;
+  crash.kill_at_event =
+      static_cast<std::uint64_t>(flags.get_int("crash-at-event", 0));
+  crash.kill_mid_snapshot =
+      static_cast<std::uint64_t>(flags.get_int("crash-mid-snapshot", 0));
+  crash.torn_tail_bytes =
+      static_cast<std::uint64_t>(flags.get_int("torn-tail", 0));
+  if (crash.enabled()) config.recovery.crash = &crash;
+
   const auto scheduler = sim::make_scheduler(name);
-  const sim::Metrics m =
-      sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+  sim::Metrics m;
+  try {
+    m = sim::run_simulation(trace, fabric, cpu, *scheduler, config);
+  } catch (const recovery::CrashError& e) {
+    std::cerr << "crashed (injected): " << e.what() << "\n";
+    return 42;
+  }
 
   std::cout << "replayed " << trace.coflows.size() << " coflows / "
             << trace.total_flows() << " flows under " << scheduler->name()

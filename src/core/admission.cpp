@@ -247,4 +247,70 @@ void AdmissionController::release(fabric::CoflowId id) {
   commitments_.erase(it);
 }
 
+void AdmissionController::save_state(recovery::StateWriter& w) const {
+  auto save_side = [&w](const std::vector<std::vector<Demand>>& side) {
+    w.u64(side.size());
+    for (const std::vector<Demand>& port : side) {
+      w.u64(port.size());
+      for (const Demand& d : port) {
+        w.f64(d.deadline);
+        w.u64(d.coflow);
+        w.u64(d.flows.size());
+        for (const fabric::FlowId fid : d.flows) w.u64(fid);
+      }
+    }
+  };
+  save_side(committed_ingress_);
+  save_side(committed_egress_);
+
+  std::vector<fabric::CoflowId> ids;
+  ids.reserve(commitments_.size());
+  for (const auto& [id, c] : commitments_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (const fabric::CoflowId id : ids) {
+    const Commitment& c = commitments_.at(id);
+    w.u64(id);
+    w.u64(c.ingress.size());
+    for (const fabric::PortId p : c.ingress) w.u64(p);
+    w.u64(c.egress.size());
+    for (const fabric::PortId p : c.egress) w.u64(p);
+  }
+}
+
+void AdmissionController::restore_state(recovery::StateReader& r) {
+  auto restore_side = [&r](std::vector<std::vector<Demand>>& side,
+                           const char* what) {
+    const std::uint64_t ports = r.u64();
+    if (ports != side.size())
+      throw recovery::RecoveryError(
+          std::string("admission: snapshot has ") + std::to_string(ports) +
+          " " + what + " ports, controller has " +
+          std::to_string(side.size()));
+    for (std::vector<Demand>& port : side) {
+      port.resize(r.count("admission demands"));
+      for (Demand& d : port) {
+        d.deadline = r.f64();
+        d.coflow = r.u64();
+        d.flows.resize(r.count("admission demand flows"));
+        for (fabric::FlowId& fid : d.flows) fid = r.u64();
+      }
+    }
+  };
+  restore_side(committed_ingress_, "ingress");
+  restore_side(committed_egress_, "egress");
+
+  commitments_.clear();
+  const std::uint64_t n = r.count("admission commitments");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const fabric::CoflowId id = r.u64();
+    Commitment c;
+    c.ingress.resize(r.count("commitment ingress ports"));
+    for (fabric::PortId& p : c.ingress) p = r.u64();
+    c.egress.resize(r.count("commitment egress ports"));
+    for (fabric::PortId& p : c.egress) p = r.u64();
+    commitments_.emplace(id, std::move(c));
+  }
+}
+
 }  // namespace swallow::core

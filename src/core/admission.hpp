@@ -36,6 +36,7 @@
 #include "cpu/cpu_model.hpp"
 #include "fabric/coflow.hpp"
 #include "fabric/fabric.hpp"
+#include "recovery/state_io.hpp"
 
 namespace swallow::core {
 
@@ -104,6 +105,15 @@ class AdmissionController {
   std::size_t committed_egress(fabric::PortId p) const {
     return committed_egress_[p].size();
   }
+
+  /// Checkpoint/restore of the committed-demand tables (DESIGN.md section
+  /// 13). Per-port demand vectors serialize verbatim (their order is
+  /// deterministic: driven by the admit/release sequence); the commitment
+  /// map is written sorted by coflow id so the bytes are deterministic too.
+  /// restore_state throws recovery::RecoveryError when the port count does
+  /// not match this controller's fabric.
+  void save_state(recovery::StateWriter& w) const;
+  void restore_state(recovery::StateReader& r);
 
  private:
   /// One admitted coflow's promised demand on one port: the flows crossing

@@ -275,4 +275,30 @@ std::unique_ptr<sched::Scheduler> make_fvdf(const std::string& name) {
                           sched::known_scheduler_list() + ")");
 }
 
+void FvdfScheduler::save_state(recovery::StateWriter& w) const {
+  w.u64(round_);
+  w.u64(seen_round_.size());
+  for (const std::uint64_t s : seen_round_) w.u64(s);
+  w.u64(served_round_.size());
+  for (const std::uint64_t s : served_round_) w.u64(s);
+}
+
+void FvdfScheduler::restore_state(recovery::StateReader& r) {
+  round_ = r.u64();
+  seen_round_.resize(r.count("fvdf seen stamps"));
+  for (std::uint64_t& s : seen_round_) s = r.u64();
+  served_round_.resize(r.count("fvdf served stamps"));
+  for (std::uint64_t& s : served_round_) s = r.u64();
+  // Drop any live incremental bindings: the restored run owns a fresh
+  // DirtyTracker session, and schedule_incremental rebuilds from scratch
+  // when it sees one. Clearing here makes that unconditional even if a
+  // stale session id were ever reused.
+  bound_tracker_ = nullptr;
+  session_ = 0;
+  cache_.clear();
+  index_.clear();
+  xmit_index_.clear();
+  beta_.clear();
+}
+
 }  // namespace swallow::core

@@ -50,6 +50,12 @@ class FvdfScheduler final : public sched::Scheduler {
   std::string name() const override;
   fabric::Allocation schedule(const sched::SchedContext& ctx) override;
 
+  /// Serializes the starvation round stamps (the only state a restored run
+  /// cannot rederive); the incremental caches are session-keyed and
+  /// rebuilt on the first post-restore round.
+  void save_state(recovery::StateWriter& w) const override;
+  void restore_state(recovery::StateReader& r) override;
+
   const FvdfOptions& options() const { return options_; }
 
  private:

@@ -31,16 +31,29 @@ codec::Buffer BlockStore::take(BlockKey key) {
 
 std::optional<codec::Buffer> BlockStore::take_for(BlockKey key,
                                                   common::Seconds timeout) {
+  // Absolute deadline computed once, then a wait_until loop: a spurious
+  // wakeup re-waits for the *remaining* time instead of granting the full
+  // timeout again (the drift a bare wait_for in a loop would accumulate).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout));
   std::unique_lock<std::mutex> lock(mutex_);
-  const bool arrived =
-      cv_.wait_for(lock, std::chrono::duration<double>(timeout),
-                   [&] { return blocks_.count(key) > 0; });
-  if (!arrived) return std::nullopt;
+  while (blocks_.count(key) == 0) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        blocks_.count(key) == 0)
+      return std::nullopt;
+  }
   auto it = blocks_.find(key);
   codec::Buffer data = std::move(it->second);
   resident_bytes_ -= data.size();
   blocks_.erase(it);
   return data;
+}
+
+bool BlockStore::contains(BlockKey key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.count(key) > 0;
 }
 
 std::size_t BlockStore::drop_coflow(CoflowRef coflow) {

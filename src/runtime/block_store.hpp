@@ -40,6 +40,10 @@ class BlockStore {
   /// or surface a typed error instead of hanging (recovery path).
   std::optional<codec::Buffer> take_for(BlockKey key, common::Seconds timeout);
 
+  /// Non-blocking residency probe (master fail-over replay: only missing
+  /// blocks are re-pushed).
+  bool contains(BlockKey key) const;
+
   /// Removes every block of a coflow (remove() path); returns bytes freed.
   std::size_t drop_coflow(CoflowRef coflow);
 

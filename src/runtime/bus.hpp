@@ -41,10 +41,16 @@ class Channel {
   /// so a lost message can never wedge a thread forever.
   template <typename Rep, typename Period>
   std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    // Absolute deadline + wait_until loop: spurious wakeups re-wait only
+    // for the remaining time, so the total wait can never drift past the
+    // caller's budget.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_for(lock, timeout,
-                      [this] { return !queue_.empty() || closed_; }))
-      return std::nullopt;  // timed out
+    while (queue_.empty() && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          queue_.empty() && !closed_)
+        return std::nullopt;  // timed out
+    }
     if (queue_.empty()) return std::nullopt;  // closed and drained
     T value = std::move(queue_.front());
     queue_.pop_front();

@@ -1,12 +1,14 @@
 #include "runtime/context.hpp"
 
 #include <chrono>
+#include <map>
 #include <stdexcept>
 #include <thread>
 
 #include "codec/frame.hpp"
 #include "codec/null_codec.hpp"
 #include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace swallow::runtime {
 
@@ -77,6 +79,41 @@ WorkerId Cluster::effective_worker(WorkerId id) const {
   return id;  // unreachable: kill_worker never kills the last survivor
 }
 
+bool Cluster::restore_master(const std::string& dir) {
+  const bool from_snapshot = master_.restore_from(dir);
+
+  // Cold half of the fail-over: flows the snapshot missed (or everything,
+  // when no snapshot loaded) are re-announced from the workers' logs. The
+  // original CoflowRef is recovered from the retention keys — block id ==
+  // flow id throughout the runtime.
+  std::map<RtFlowId, FlowInfo> by_flow;
+  for (const auto& w : workers_) {
+    if (w->dead()) continue;
+    for (const FlowInfo& f : w->registration_log()) by_flow[f.flow_id] = f;
+  }
+  std::map<CoflowRef, CoflowInfo> rebuilt;
+  for (const BlockKey& key : retention_.keys()) {
+    const auto it = by_flow.find(key.block);
+    if (it == by_flow.end()) continue;
+    if (master_.has_coflow(key.coflow)) continue;
+    rebuilt[key.coflow].flows.push_back(it->second);
+  }
+  for (auto& [ref, info] : rebuilt) master_.restore_coflow(ref, std::move(info));
+
+  if (config_.sink != nullptr) {
+    config_.sink->registry().counter("recovery.master_failovers").add(1);
+    obs::emit_instant(config_.sink, obs::wall_now_us(), "master_failover",
+                      "recovery",
+                      obs::Args()
+                          .add("snapshot", from_snapshot)
+                          .add("reregistered",
+                               static_cast<std::uint64_t>(rebuilt.size()))
+                          .str(),
+                      obs::kWallPid, obs::current_thread_tid());
+  }
+  return from_snapshot;
+}
+
 FaultStats Cluster::fault_stats() const {
   FaultStats stats = fault_counters_.snapshot();
   for (const auto& w : workers_)
@@ -100,6 +137,11 @@ CoflowRef SwallowContext::add(CoflowInfo info) {
 }
 
 void SwallowContext::remove(CoflowRef ref) {
+  // Prune the workers' registration logs first — flows_of needs the
+  // master's bookkeeping, which remove() erases.
+  const std::vector<RtFlowId> flows = cluster_->master().flows_of(ref);
+  for (WorkerId w = 0; w < cluster_->size(); ++w)
+    cluster_->worker(w).forget_flows(flows);
   cluster_->master().remove(ref);
   for (WorkerId w = 0; w < cluster_->size(); ++w)
     cluster_->worker(w).store().drop_coflow(ref);
@@ -207,6 +249,27 @@ bool SwallowContext::retransmit(CoflowRef ref, BlockId block, int attempt) {
     cluster_->master().record_flow_failure(block);
   }
   return true;
+}
+
+std::size_t SwallowContext::replay_in_flight() {
+  std::size_t replayed = 0;
+  for (const BlockKey& key : cluster_->retention().keys()) {
+    const auto retained = cluster_->retention().lookup(key);
+    if (!retained) continue;  // raced with a remove(); nothing to replay
+    const WorkerId edst = cluster_->effective_worker(retained->dst);
+    if (cluster_->worker(edst).store().contains(key)) continue;
+    cluster_->fault_counters().on_retransmit();
+    try {
+      transfer_once(key.coflow, key.block, retained->raw, retained->src,
+                    retained->dst, /*attempt=*/0);
+      ++replayed;
+    } catch (const codec::CodecError&) {
+      // Injected codec failure on the replay: count it toward the flow's
+      // degradation ladder; the receiver's pull retry loop re-requests.
+      cluster_->master().record_flow_failure(key.block);
+    }
+  }
+  return replayed;
 }
 
 void SwallowContext::push(CoflowRef ref, BlockId block,

@@ -74,6 +74,18 @@ class Cluster {
   /// (context paths) + gate evictions (workers) + degraded flows (master).
   FaultStats fault_stats() const;
 
+  // ---- Master fail-over (DESIGN.md section 13) ----
+
+  /// Rebuilds the master's bookkeeping after a master crash: loads the
+  /// newest usable snapshot in `dir` (fingerprint-checked; an empty or
+  /// snapshot-free dir cold-starts instead), then has every live worker
+  /// re-announce its registration log so coflows the snapshot missed are
+  /// re-registered under their ORIGINAL refs — receivers blocked in pull()
+  /// hold those refs, and the retention/store keys embed them. Ownership
+  /// of log flows is reconstructed from the RetentionStore keys (block id
+  /// == flow id). Returns true when a snapshot was used.
+  bool restore_master(const std::string& dir);
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -117,6 +129,15 @@ class SwallowContext {
   /// the receiver-side reclamation that Table VIII's GC analog measures.
   codec::Buffer pull(CoflowRef ref, BlockId block, WorkerId dst,
                      BufferPool* wire_reclaim = nullptr);
+
+  /// Master fail-over replay: re-pushes every retained block that is not
+  /// resident in its (surviving) destination's store — in-flight transfers
+  /// the crash may have lost land again, waking receivers blocked in
+  /// pull() without waiting for their per-attempt timeouts. Blocks already
+  /// consumed by a receiver are re-landed too (indistinguishable from lost
+  /// ones sender-side) and swept out by remove() with the coflow. Returns
+  /// the number of blocks re-pushed.
+  std::size_t replay_in_flight();
 
  private:
   /// One delivery attempt; returns true when the block reached the

@@ -192,6 +192,14 @@ std::optional<RetentionStore::Retained> RetentionStore::lookup(
   return it->second;
 }
 
+std::vector<BlockKey> RetentionStore::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockKey> out;
+  out.reserve(blocks_.size());
+  for (const auto& [key, retained] : blocks_) out.push_back(key);
+  return out;
+}
+
 std::size_t RetentionStore::drop_coflow(CoflowRef coflow) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t freed = 0;

@@ -229,6 +229,9 @@ class RetentionStore {
               std::span<const std::uint8_t> raw);
   /// Copy-out lookup (the retransmit path re-encodes from the copy).
   std::optional<Retained> lookup(BlockKey key) const;
+  /// Keys of every retained block, in deterministic (sorted) order — the
+  /// master fail-over replay walks these to re-push in-flight blocks.
+  std::vector<BlockKey> keys() const;
   std::size_t drop_coflow(CoflowRef coflow);
   std::size_t block_count() const;
   std::size_t resident_bytes() const;

@@ -6,6 +6,7 @@
 #include "core/online.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "recovery/snapshot.hpp"
 
 namespace swallow::runtime {
 
@@ -202,6 +203,176 @@ std::size_t Master::decision_count() const {
 std::size_t Master::rank_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ranks_.size();
+}
+
+void Master::save_state(recovery::StateWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.u64(next_ref_);
+  w.u64(degraded_count_);
+  w.u64(coflows_.size());
+  for (const auto& [ref, entry] : coflows_) {
+    w.u64(ref);
+    w.f64(entry.priority);
+    w.u64(entry.info.flows.size());
+    for (const FlowInfo& f : entry.info.flows) {
+      w.u64(f.flow_id);
+      w.u64(f.coflow);
+      w.u32(f.src);
+      w.u32(f.dst);
+      w.u64(f.bytes);
+      w.boolean(f.compressible);
+    }
+  }
+  w.u64(ranks_.size());
+  for (const auto& [ref, rank] : ranks_) {
+    w.u64(ref);
+    w.u64(rank);
+  }
+  w.u64(decisions_.size());
+  for (const auto& [flow, d] : decisions_) {
+    w.u64(flow);
+    w.boolean(d.compress);
+    w.f64(d.rate);
+    w.boolean(d.degraded);
+  }
+  w.u64(flow_owner_.size());
+  for (const auto& [flow, ref] : flow_owner_) {
+    w.u64(flow);
+    w.u64(ref);
+  }
+  w.u64(flow_failures_.size());
+  for (const auto& [flow, count] : flow_failures_) {
+    w.u64(flow);
+    w.u64(static_cast<std::uint64_t>(count));
+  }
+}
+
+void Master::restore_state(recovery::StateReader& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  coflows_.clear();
+  ranks_.clear();
+  decisions_.clear();
+  flow_owner_.clear();
+  flow_failures_.clear();
+  next_ref_ = r.u64();
+  degraded_count_ = r.u64();
+  const std::uint64_t ncoflows = r.count("master coflows");
+  for (std::uint64_t i = 0; i < ncoflows; ++i) {
+    const CoflowRef ref = r.u64();
+    if (ref >= next_ref_)
+      throw recovery::RecoveryError(
+          "master: restored coflow ref outside the issued range", r.offset());
+    Entry entry;
+    entry.info.ref = ref;
+    entry.priority = r.f64();
+    const std::uint64_t nflows = r.count("master coflow flows");
+    entry.info.flows.reserve(nflows);
+    for (std::uint64_t k = 0; k < nflows; ++k) {
+      FlowInfo f;
+      f.flow_id = r.u64();
+      f.coflow = r.u64();
+      f.src = r.u32();
+      f.dst = r.u32();
+      f.bytes = r.u64();
+      f.compressible = r.boolean();
+      entry.info.flows.push_back(f);
+    }
+    coflows_[ref] = std::move(entry);
+  }
+  const std::uint64_t nranks = r.count("master ranks");
+  for (std::uint64_t i = 0; i < nranks; ++i) {
+    const CoflowRef ref = r.u64();
+    const std::uint64_t rank = r.u64();
+    if (coflows_.count(ref) == 0)
+      throw recovery::RecoveryError("master: rank for unknown coflow",
+                                    r.offset());
+    ranks_[ref] = rank;
+  }
+  const std::uint64_t ndecisions = r.count("master decisions");
+  for (std::uint64_t i = 0; i < ndecisions; ++i) {
+    const RtFlowId flow = r.u64();
+    FlowDecision d;
+    d.compress = r.boolean();
+    d.rate = r.f64();
+    d.degraded = r.boolean();
+    decisions_[flow] = d;
+  }
+  const std::uint64_t nowners = r.count("master flow owners");
+  for (std::uint64_t i = 0; i < nowners; ++i) {
+    const RtFlowId flow = r.u64();
+    const CoflowRef ref = r.u64();
+    if (coflows_.count(ref) == 0)
+      throw recovery::RecoveryError("master: flow owned by unknown coflow",
+                                    r.offset());
+    flow_owner_[flow] = ref;
+  }
+  const std::uint64_t nfailures = r.count("master flow failures");
+  for (std::uint64_t i = 0; i < nfailures; ++i) {
+    const RtFlowId flow = r.u64();
+    flow_failures_[flow] = static_cast<int>(r.u64());
+  }
+}
+
+std::uint64_t Master::config_fingerprint() const {
+  recovery::Fingerprint fp;
+  fp.mix(std::string("swallow.runtime.master.v1"));
+  fp.mix(nic_rate_);
+  fp.mix(codec_.name);
+  fp.mix(codec_.compress_speed);
+  fp.mix(codec_.decompress_speed);
+  fp.mix(codec_.ratio);
+  fp.mix(cpu_headroom_);
+  fp.mix(static_cast<std::uint64_t>(compression_));
+  fp.mix(static_cast<std::uint64_t>(degrade_after_));
+  return fp.value();
+}
+
+void Master::checkpoint(const std::string& dir, std::uint64_t seq) const {
+  recovery::StateWriter w;
+  save_state(w);
+  recovery::SnapshotMeta meta;
+  meta.seq = seq;
+  meta.fingerprint = config_fingerprint();
+  recovery::write_snapshot(dir, meta, w.buffer());
+  if (sink_ != nullptr)
+    sink_->registry().counter("recovery.master_snapshots").add(1);
+}
+
+bool Master::restore_from(const std::string& dir) {
+  const auto snap = recovery::load_latest_snapshot(dir, config_fingerprint());
+  if (!snap) return false;
+  recovery::StateReader r(snap->payload);
+  restore_state(r);
+  if (!r.at_end())
+    throw recovery::RecoveryError("master: trailing bytes after state",
+                                  r.offset());
+  if (sink_ != nullptr)
+    sink_->registry().counter("recovery.master_restores").add(1);
+  return true;
+}
+
+void Master::restore_coflow(CoflowRef ref, CoflowInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (coflows_.count(ref) > 0) return;  // the snapshot already carried it
+  info.ref = ref;
+  for (const auto& f : info.flows) flow_owner_[f.flow_id] = ref;
+  coflows_[ref] = Entry{std::move(info), 1.0};
+  if (ref >= next_ref_) next_ref_ = ref + 1;
+}
+
+bool Master::has_coflow(CoflowRef ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coflows_.count(ref) > 0;
+}
+
+std::vector<RtFlowId> Master::flows_of(CoflowRef ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RtFlowId> flows;
+  const auto it = coflows_.find(ref);
+  if (it == coflows_.end()) return flows;
+  flows.reserve(it->second.info.flows.size());
+  for (const auto& f : it->second.info.flows) flows.push_back(f.flow_id);
+  return flows;
 }
 
 }  // namespace swallow::runtime

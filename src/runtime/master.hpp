@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codec/codec_model.hpp"
+#include "recovery/state_io.hpp"
 #include "runtime/worker.hpp"
 
 namespace swallow::runtime {
@@ -76,6 +77,40 @@ class Master {
 
   std::size_t active_coflows() const;
   std::size_t degraded_flows() const;
+
+  // ---- Crash-fault tolerance (DESIGN.md section 13) ----
+
+  /// Serializes the master's full bookkeeping — registered coflows with
+  /// their priority classes, the applied rank order, per-flow decisions,
+  /// ownership and failure counts — in deterministic (key-sorted) order.
+  void save_state(recovery::StateWriter& w) const;
+  /// Rebuilds the bookkeeping from save_state bytes; throws RecoveryError
+  /// on malformed input. Replaces any existing state.
+  void restore_state(recovery::StateReader& r);
+
+  /// Publishes a checksummed `snap-<seq>.swsnap` of save_state() in `dir`
+  /// (atomic tmp+rename, LZ-framed; see recovery/snapshot.hpp).
+  void checkpoint(const std::string& dir, std::uint64_t seq) const;
+  /// Loads the newest usable snapshot in `dir` (fingerprint-checked
+  /// against this master's configuration) into this master. Returns false
+  /// — leaving the master untouched — when no usable snapshot exists.
+  bool restore_from(const std::string& dir);
+
+  /// Identity of the configuration the snapshots are only valid under
+  /// (NIC rate, codec model, headroom, compression and degradation knobs).
+  std::uint64_t config_fingerprint() const;
+
+  /// Fail-over re-registration: re-inserts a coflow under its ORIGINAL ref
+  /// (receivers blocked in pull() hold that ref) when a replacement master
+  /// cold-starts from the workers' registration logs. No-op if the ref is
+  /// already present (the snapshot got there first). Priority restarts at
+  /// the base class — the upgrade ladder re-ages it.
+  void restore_coflow(CoflowRef ref, CoflowInfo info);
+
+  bool has_coflow(CoflowRef ref) const;
+  /// Flow ids of a registered coflow (empty if unknown); the driver uses
+  /// this on remove() to prune the workers' registration logs.
+  std::vector<RtFlowId> flows_of(CoflowRef ref) const;
 
   /// Bookkeeping sizes, exposed so tests can assert remove() leaves no
   /// stale ranks/decisions behind across job lifecycles.

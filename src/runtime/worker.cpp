@@ -1,5 +1,7 @@
 #include "runtime/worker.hpp"
 
+#include <algorithm>
+
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
@@ -89,6 +91,7 @@ Worker::Worker(WorkerId id, common::Bps nic_rate, obs::Sink* sink)
 void Worker::register_flow(const FlowInfo& info) {
   std::lock_guard<std::mutex> lock(reg_mutex_);
   registrations_.push_back(info);
+  registration_log_.push_back(info);
 }
 
 std::vector<FlowInfo> Worker::drain_registrations() {
@@ -96,6 +99,18 @@ std::vector<FlowInfo> Worker::drain_registrations() {
   std::vector<FlowInfo> out;
   out.swap(registrations_);
   return out;
+}
+
+std::vector<FlowInfo> Worker::registration_log() const {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  return registration_log_;
+}
+
+void Worker::forget_flows(const std::vector<RtFlowId>& flows) {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  std::erase_if(registration_log_, [&](const FlowInfo& f) {
+    return std::find(flows.begin(), flows.end(), f.flow_id) != flows.end();
+  });
 }
 
 void Worker::account_transfer(std::size_t raw_bytes, std::size_t wire_bytes) {

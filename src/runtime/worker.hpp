@@ -98,6 +98,13 @@ class Worker {
   void register_flow(const FlowInfo& info);
   std::vector<FlowInfo> drain_registrations();
 
+  /// Crash recovery: every registration is also appended to a durable
+  /// per-worker log (drain_registrations is destructive, the log is not),
+  /// so a replacement master can ask the workers to re-announce their
+  /// flows. Pruned via forget_flows when the driver removes the coflow.
+  std::vector<FlowInfo> registration_log() const;
+  void forget_flows(const std::vector<RtFlowId>& flows);
+
   /// Worker-kill support: a dead worker keeps its objects alive (threads
   /// may still hold references) but the cluster routes around it.
   void mark_dead() { dead_.store(true, std::memory_order_relaxed); }
@@ -116,8 +123,9 @@ class Worker {
   RateLimiter ingress_;
   PortGate egress_gate_;
 
-  std::mutex reg_mutex_;
+  mutable std::mutex reg_mutex_;
   std::vector<FlowInfo> registrations_;
+  std::vector<FlowInfo> registration_log_;
 
   std::atomic<std::size_t> wire_bytes_{0};
   std::atomic<std::size_t> raw_bytes_{0};

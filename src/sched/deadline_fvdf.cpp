@@ -490,6 +490,35 @@ void DeadlineFvdfScheduler::drop_coflow(fabric::CoflowId id) {
   }
 }
 
+void DeadlineFvdfScheduler::save_state(recovery::StateWriter& w) const {
+  w.u64(round_);
+  w.u64(seen_round_.size());
+  for (const std::uint64_t s : seen_round_) w.u64(s);
+  w.u64(served_round_.size());
+  for (const std::uint64_t s : served_round_) w.u64(s);
+}
+
+void DeadlineFvdfScheduler::restore_state(recovery::StateReader& r) {
+  round_ = r.u64();
+  seen_round_.resize(r.count("dfvdf seen stamps"));
+  for (std::uint64_t& s : seen_round_) s = r.u64();
+  served_round_.resize(r.count("dfvdf served stamps"));
+  for (std::uint64_t& s : served_round_) s = r.u64();
+  // Same contract as FvdfScheduler::restore_state: everything else is
+  // session-keyed derived state, rebuilt on the first post-restore round.
+  bound_tracker_ = nullptr;
+  session_ = 0;
+  for (RankIndex& idx : xmit_) idx.clear();
+  cache_.clear();
+  beta_.clear();
+  horizon_heap_ = {};
+  horizon_round_.clear();
+  horizon_due_.clear();
+  deadline_resident_ = 0;
+  any_deadline_ = false;
+  need_global_rekey_ = false;
+}
+
 std::unique_ptr<Scheduler> make_deadline_fvdf(const std::string& name) {
   std::string key = name;
   std::transform(key.begin(), key.end(), key.begin(),

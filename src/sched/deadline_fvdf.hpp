@@ -62,6 +62,12 @@ class DeadlineFvdfScheduler final : public Scheduler {
   std::string name() const override;
   fabric::Allocation schedule(const SchedContext& ctx) override;
 
+  /// Starvation stamps only, mirroring FvdfScheduler: every band index,
+  /// horizon heap and Γ memo is session-keyed derived state, rebuilt from
+  /// the restored coflow/flow pools on the first post-restore round.
+  void save_state(recovery::StateWriter& w) const override;
+  void restore_state(recovery::StateReader& r) override;
+
   const DeadlineFvdfOptions& options() const { return options_; }
 
  private:

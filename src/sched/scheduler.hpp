@@ -16,6 +16,7 @@
 #include "fabric/allocation.hpp"
 #include "fabric/coflow.hpp"
 #include "fabric/fabric.hpp"
+#include "recovery/state_io.hpp"
 
 namespace swallow::obs {
 class Sink;
@@ -79,6 +80,19 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
   virtual fabric::Allocation schedule(const SchedContext& ctx) = 0;
+
+  /// Checkpoint/restore hooks (DESIGN.md section 13). A scheduler saves
+  /// exactly its *non-derivable* mutable state — for FVDF variants the
+  /// starvation round stamps; session-keyed incremental caches (rank
+  /// indexes, Γ memos, β tables, horizon heaps) are deliberately excluded:
+  /// they are rebuilt from scratch when the scheduler sees the restored
+  /// run's fresh DirtyTracker session, and the PR 6 invariant (incremental
+  /// ≡ full recompute, bit for bit) makes the rebuild byte-equivalent to
+  /// the warm caches. Stateless schedulers inherit these no-ops.
+  /// restore_state must also drop any live incremental bindings so a
+  /// reused instance cannot serve stale-session state.
+  virtual void save_state(recovery::StateWriter& w) const { (void)w; }
+  virtual void restore_state(recovery::StateReader& r) { (void)r; }
 };
 
 /// Flows sorted by a coflow-level key: every flow of the first coflow

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <queue>
+#include <deque>
+#include <filesystem>
+#include <limits>
 #include <stdexcept>
+#include <system_error>
+#include <vector>
 
 #include "fabric/degradation.hpp"
 
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/snapshot.hpp"
 #include "sched/dirty.hpp"
 
 namespace swallow::sim {
@@ -103,280 +109,327 @@ std::uint64_t first_true_near(double guess, Pred&& pred) {
   return first_true(pred);
 }
 
-}  // namespace
+/// Canonical per-segment flow evolution (shared by both engine modes).
+/// Transmit drains compressed-then-raw at `step` bytes per slice:
+///   w(j)  = min(d0 + D0, j * step)           cumulative wire bytes
+///   wc(j) = min(D0, w(j))                    ... of which compressed
+///   d(j)  = d0 - min(d0, max(0, w(j) - D0))
+/// Compression converts raw at `step` bytes per slice:
+///   cc(j) = min(d0, j * step)                cumulative raw consumed
+///   d(j)  = d0 - cc(j),  D(j) = D0 + cc(j) * ratio
+/// All monotone in j, so event detection is a monotone-predicate search.
+void materialize_flow(fabric::Flow& f, const FlowSeg& s, std::uint64_t j) {
+  if (s.mode == FlowSeg::kTransmit) {
+    const double w = std::min(s.d0 + s.D0, static_cast<double>(j) * s.step);
+    const double wc = std::min(s.D0, w);
+    f.raw_remaining = s.d0 - std::min(s.d0, std::max(0.0, w - s.D0));
+    f.compressed_pending = s.D0 - wc;
+    f.sent = s.sent0 + w;
+    f.sent_compressed = s.sentc0 + wc;
+  } else if (s.mode == FlowSeg::kCompress) {
+    const double cc = std::min(s.d0, static_cast<double>(j) * s.step);
+    f.raw_remaining = s.d0 - cc;
+    f.compressed_pending = s.D0 + cc * s.ratio;
+  }
+  // kIdle/kBlocked flows do not move.
+}
 
-Metrics run_simulation(const workload::Trace& trace,
-                       const fabric::Fabric& fabric,
-                       const cpu::CpuProvider& cpu, sched::Scheduler& sched,
-                       const SimConfig& config) {
-  if (config.slice <= 0) throw std::invalid_argument("sim: non-positive slice");
-  if (fabric.num_ports() < trace.num_ports)
-    throw std::invalid_argument("sim: fabric smaller than trace needs");
+/// Section tags for the snapshot payload: a skewed or truncated payload
+/// fails on a named section instead of silently misparsing.
+constexpr std::uint32_t tag4(char a, char b, char c, char d) {
+  return std::uint32_t(std::uint8_t(a)) |
+         (std::uint32_t(std::uint8_t(b)) << 8) |
+         (std::uint32_t(std::uint8_t(c)) << 16) |
+         (std::uint32_t(std::uint8_t(d)) << 24);
+}
 
-  const bool event_mode = config.engine_mode == EngineMode::kEventDriven;
+void expect_tag(recovery::StateReader& r, std::uint32_t want,
+                const char* name) {
+  const std::size_t at = r.offset();
+  if (r.u32() != want)
+    throw recovery::RecoveryError(
+        std::string("recovery: snapshot section tag mismatch, expected ") +
+            name,
+        at);
+}
 
-  // ---- Dynamic fabric degradation. ----
-  // `live` is the engine's mutable view of the fabric: nominal capacities
-  // scaled by the degradation schedule's per-port multipliers. Schedulers,
-  // the Eq. 3 compression gate and the feasibility check all read `live`,
-  // so every decision is priced against what the ports can carry *now*.
-  const fabric::DegradationSchedule degrade(config.degradation,
-                                            fabric.num_ports());
-  const bool degrade_on = degrade.enabled();
-  fabric::Fabric live = fabric;
+// Cold, out-of-line trace emitters: the Args machinery stays off the
+// round hot paths, which see only a null test when no sink is set.
+struct ColdEmit {
+  [[gnu::noinline, gnu::cold]] static void flow_complete(
+      obs::Sink* sink, common::Seconds when, std::int64_t flow,
+      std::int64_t coflow, common::Seconds fct) {
+    obs::emit_instant(sink, obs::sim_ts(when), "flow_complete", "sim",
+                      obs::Args()
+                          .add("flow", flow)
+                          .add("coflow", coflow)
+                          .add("fct", fct)
+                          .str());
+  }
+  [[gnu::noinline, gnu::cold]] static void coflow_complete(
+      obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+      common::Seconds cct) {
+    obs::emit_instant(sink, obs::sim_ts(when), "coflow_complete", "sim",
+                      obs::Args()
+                          .add("coflow", coflow)
+                          .add("cct", cct)
+                          .str());
+    sink->registry().counter("sim.coflows_completed").add();
+  }
+  [[gnu::noinline, gnu::cold]] static void coflow_arrival(
+      obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+      std::int64_t width) {
+    obs::emit_instant(sink, obs::sim_ts(when), "coflow_arrival", "sim",
+                      obs::Args()
+                          .add("coflow", coflow)
+                          .add("width", width)
+                          .str());
+    sink->registry().counter("sim.coflows_arrived").add();
+  }
+  [[gnu::noinline, gnu::cold]] static void schedule_round(
+      obs::Sink* sink, common::Seconds now, std::uint64_t round,
+      const std::string& scheduler, std::int64_t coflows,
+      std::int64_t flows) {
+    obs::emit_instant(sink, obs::sim_ts(now), "schedule_round", "sim",
+                      obs::Args()
+                          .add("round", round)
+                          .add("scheduler", scheduler)
+                          .add("coflows", coflows)
+                          .add("flows", flows)
+                          .str());
+  }
+  [[gnu::noinline, gnu::cold]] static void preemption(obs::Sink* sink,
+                                                      common::Seconds now,
+                                                      std::int64_t flow,
+                                                      std::int64_t coflow) {
+    obs::emit_instant(sink, obs::sim_ts(now), "preemption", "sim",
+                      obs::Args()
+                          .add("flow", flow)
+                          .add("coflow", coflow)
+                          .str());
+  }
+  [[gnu::noinline, gnu::cold]] static void capacity_change(
+      obs::Sink* sink, common::Seconds when, std::int64_t port,
+      double old_multiplier, double new_multiplier, double ingress_bps,
+      double egress_bps) {
+    obs::emit_instant(sink, obs::sim_ts(when), "capacity_change", "fabric",
+                      obs::Args()
+                          .add("port", port)
+                          .add("old_multiplier", old_multiplier)
+                          .add("multiplier", new_multiplier)
+                          .add("ingress_bps", ingress_bps)
+                          .add("egress_bps", egress_bps)
+                          .str());
+    if (new_multiplier == 0.0)
+      obs::emit_instant(sink, obs::sim_ts(when), "link_down", "fabric",
+                        obs::Args().add("port", port).str());
+    else if (old_multiplier == 0.0)
+      obs::emit_instant(sink, obs::sim_ts(when), "link_up", "fabric",
+                        obs::Args().add("port", port).str());
+  }
+  [[gnu::noinline, gnu::cold]] static void admission_verdict(
+      obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+      const char* verdict, const char* reason, common::Seconds slack) {
+    obs::emit_instant(sink, obs::sim_ts(when), "admission_verdict", "slo",
+                      obs::Args()
+                          .add("coflow", coflow)
+                          .add("verdict", verdict)
+                          .add("reason", reason)
+                          .add("slack", slack)
+                          .str());
+  }
+  [[gnu::noinline, gnu::cold]] static void coflow_rejected(
+      obs::Sink* sink, common::Seconds when, std::int64_t coflow,
+      bool midflight, common::Bytes shed) {
+    obs::emit_instant(sink, obs::sim_ts(when),
+                      midflight ? "coflow_shed" : "coflow_rejected", "slo",
+                      obs::Args()
+                          .add("coflow", coflow)
+                          .add("shed_bytes", shed)
+                          .str());
+    sink->registry()
+        .counter(midflight ? "slo.coflows_shed" : "slo.coflows_rejected")
+        .add();
+  }
+  [[gnu::noinline, gnu::cold]] static void compression_done(
+      obs::Sink* sink, common::Seconds now, std::int64_t flow,
+      std::int64_t coflow, common::Bytes compressed) {
+    obs::emit_instant(sink, obs::sim_ts(now), "compression_done", "sim",
+                      obs::Args()
+                          .add("flow", flow)
+                          .add("coflow", coflow)
+                          .add("compressed_bytes", compressed)
+                          .str());
+  }
+  [[gnu::noinline, gnu::cold]] static void snapshot_written(
+      obs::Sink* sink, common::Seconds when, std::uint64_t seq,
+      std::int64_t bytes) {
+    obs::emit_instant(sink, obs::sim_ts(when), "snapshot", "recovery",
+                      obs::Args()
+                          .add("seq", std::int64_t(seq))
+                          .add("bytes", bytes)
+                          .str());
+    sink->registry().counter("recovery.snapshots").add();
+  }
+  [[gnu::noinline, gnu::cold]] static void restored(
+      obs::Sink* sink, common::Seconds when, std::uint64_t seq,
+      std::int64_t journal_suffix) {
+    obs::emit_instant(sink, obs::sim_ts(when), "restore", "recovery",
+                      obs::Args()
+                          .add("seq", std::int64_t(seq))
+                          .add("journal_suffix", journal_suffix)
+                          .str());
+    sink->registry().counter("recovery.restores").add();
+    sink->registry()
+        .gauge("recovery.journal_suffix")
+        .set(static_cast<double>(journal_suffix));
+  }
+};
 
-  // ---- Build flow/coflow state (ids are dense indices). ----
-  std::vector<fabric::Flow> flows;
-  std::vector<SimCoflow> coflows;
-  flows.reserve(trace.total_flows());
-  coflows.reserve(trace.coflows.size());
-  for (const auto& spec : trace.coflows) {
-    SimCoflow sc;
-    sc.trace_id = spec.id;
-    sc.job = spec.job;
-    sc.state.id = coflows.size();
-    sc.state.arrival = spec.arrival;
-    sc.state.priority = 1.0;
-    // Trace deadlines are relative to arrival; the engine works in absolute
-    // simulated time from here on.
-    sc.state.deadline = spec.has_deadline() ? spec.arrival + spec.deadline
-                                            : fabric::kNoDeadline;
-    sc.unfinished = spec.flows.size();
-    for (const auto& fs : spec.flows) {
-      fabric::Flow f;
-      f.id = flows.size();
-      f.coflow = sc.state.id;
-      f.src = fs.src;
-      f.dst = fs.dst;
-      f.original_bytes = fs.bytes;
-      f.raw_remaining = fs.bytes;
-      f.arrival = spec.arrival + fs.arrival_offset;
-      f.compressible = fs.compressible;
-      f.compress_ratio = fs.compress_ratio;
-      sc.state.flows.push_back(f.id);
-      flows.push_back(f);
+/// The engine, refactored from the historical single-function stepper into
+/// a resumable object: every bit of run state is a member, so a checkpoint
+/// is a flat serialization (save_state) and a restore re-enters the main
+/// loop at the exact boundary the snapshot was cut at. Checkpoints happen
+/// only at post-schedule fold points (segment settled, nothing pending),
+/// where re-running the loop-top prefix is idempotent — that is what makes
+/// the restored run's Metrics byte-identical to the uninterrupted run's
+/// (DESIGN.md section 13).
+class Engine {
+ public:
+  Engine(const workload::Trace& trace, const fabric::Fabric& fabric_in,
+         const cpu::CpuProvider& cpu_in, sched::Scheduler& sched_in,
+         const SimConfig& config_in)
+      : fabric(fabric_in),
+        cpu(cpu_in),
+        sched(sched_in),
+        config(config_in),
+        event_mode(config_in.engine_mode == EngineMode::kEventDriven),
+        degrade(config_in.degradation, fabric_in.num_ports()),
+        degrade_on(degrade.enabled()),
+        live(fabric_in),
+        admit_on(config_in.admission.enabled),
+        admission(config_in.admission, fabric_in),
+        track(event_mode && config_in.incremental_sched),
+        tracker(fabric_in.num_ports()),
+        sink(config_in.sink) {
+    // ---- Build flow/coflow state (ids are dense indices). ----
+    flows.reserve(trace.total_flows());
+    coflows.reserve(trace.coflows.size());
+    for (const auto& spec : trace.coflows) {
+      SimCoflow sc;
+      sc.trace_id = spec.id;
+      sc.job = spec.job;
+      sc.state.id = coflows.size();
+      sc.state.arrival = spec.arrival;
+      sc.state.priority = 1.0;
+      // Trace deadlines are relative to arrival; the engine works in
+      // absolute simulated time from here on.
+      sc.state.deadline = spec.has_deadline() ? spec.arrival + spec.deadline
+                                              : fabric::kNoDeadline;
+      sc.unfinished = spec.flows.size();
+      for (const auto& fs : spec.flows) {
+        fabric::Flow f;
+        f.id = flows.size();
+        f.coflow = sc.state.id;
+        f.src = fs.src;
+        f.dst = fs.dst;
+        f.original_bytes = fs.bytes;
+        f.raw_remaining = fs.bytes;
+        f.arrival = spec.arrival + fs.arrival_offset;
+        f.compressible = fs.compressible;
+        f.compress_ratio = fs.compress_ratio;
+        sc.state.flows.push_back(f.id);
+        flows.push_back(f);
+      }
+      sc.isolation_bound = coflow_bottleneck(sc.state, flows, fabric);
+      coflows.push_back(std::move(sc));
     }
-    sc.isolation_bound = coflow_bottleneck(sc.state, flows, fabric);
-    coflows.push_back(std::move(sc));
+
+    // Arrival order (trace is sorted, but be safe).
+    arrival_order.resize(coflows.size());
+    for (std::size_t i = 0; i < arrival_order.size(); ++i)
+      arrival_order[i] = i;
+    std::stable_sort(
+        arrival_order.begin(), arrival_order.end(),
+        [&](std::size_t a, std::size_t b) {
+          return coflows[a].state.arrival < coflows[b].state.arrival;
+        });
+
+    // Dense per-flow decision tables refreshed after every schedule() call.
+    rate.assign(flows.size(), 0.0);
+    compress.assign(flows.size(), 0);
+    // Flows that have been covered by at least one allocation: a beta
+    // change before the first decision is not a "flip".
+    decided.assign(flows.size(), 0);
+    seg.assign(flows.size(), FlowSeg{});
+
+    // ---- Incremental-scheduling event feed (DESIGN.md section 11). ----
+    // flows is reserved up front, so the bound pointer stays valid for the
+    // whole run (and across a snapshot restore, which only overwrites the
+    // flows' mutable pools in place).
+    if (track) tracker.bind_flows(flows.data(), flows.size());
+
+    // ---- Segment state. ----
+    // Time is always seg_base + j * slice (never accumulated), so both
+    // modes land on bit-identical boundary timestamps.
+    seg_base = coflows.empty() ? 0.0 : coflows[arrival_order[0]].state.arrival;
+    window_start = seg_base;
+    for (fabric::PortId p = 0; p < fabric.num_ports(); ++p)
+      egress_capacity_total += fabric.egress_capacity(p);
+
+    // Reusable scheduling context (clear_round() keeps the vectors'
+    // capacity, so steady-state rounds do not reallocate).
+    ctx.fabric = &live;
+    ctx.cpu = &cpu;
+    ctx.slice = config.slice;
+    ctx.codec = config.codec;
+    ctx.sink = sink;
+    ctx.tracker = track ? &tracker : nullptr;
   }
 
-  // Arrival order (trace is sorted, but be safe).
-  std::vector<std::size_t> arrival_order(coflows.size());
-  for (std::size_t i = 0; i < arrival_order.size(); ++i) arrival_order[i] = i;
-  std::stable_sort(arrival_order.begin(), arrival_order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return coflows[a].state.arrival < coflows[b].state.arrival;
-                   });
+  Metrics run();
 
-  std::size_t next_arrival = 0;
-  std::vector<std::size_t> active;  // indices of arrived, uncompleted coflows
-  std::size_t completed = 0;
-  std::size_t rejected = 0;  // coflows dropped by the SLO admission layer
-
-  // Dense per-flow decision tables refreshed after every schedule() call.
-  std::vector<double> rate(flows.size(), 0.0);
-  std::vector<char> compress(flows.size(), 0);
-
-  // ---- Incremental-scheduling event feed (DESIGN.md section 11). ----
-  // The event loop reports every input change (arrivals, completions,
-  // capacity multipliers, CPU headroom, actual flow progress) to the
-  // tracker; schedulers that maintain memoized Γ state consume it and
-  // re-rank only what moved. Only the event-driven mode feeds it — the
-  // slice-stepped reference keeps the historical full recompute, which is
-  // exactly what makes test_engine_parity the byte-identity oracle for the
-  // incremental paths. flows is reserved up front, so the bound pointer
-  // stays valid for the whole run.
-  const bool track = event_mode && config.incremental_sched;
-  sched::DirtyTracker tracker(fabric.num_ports());
-  if (track) tracker.bind_flows(flows.data(), flows.size());
-
-  // ---- SLO admission control + expiry shedding (DESIGN.md section 12). ----
-  // The gate runs once per arrival against the *live* fabric; mid-flight
-  // expiry shedding drops the remaining volume of coflows that blew their
-  // deadline at the first slice boundary past it. Disabled (the default),
-  // none of this executes and the run is byte-identical to pre-SLO engines.
-  const bool admit_on = config.admission.enabled;
-  core::AdmissionController admission(config.admission, fabric);
-  SloStats sstats;
-  // Lazy min-heap of (absolute deadline, coflow index): entries whose coflow
-  // already completed or was rejected are skipped at pop time.
+ private:
+  // Lazy min-heap of (absolute deadline, coflow index), maintained with
+  // push_heap/pop_heap over a plain vector so the raw heap array
+  // serializes verbatim into a snapshot. Entries whose coflow already
+  // completed or was rejected are skipped at pop time.
   using ExpiryEntry = std::pair<common::Seconds, std::size_t>;
-  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
-                      std::greater<ExpiryEntry>>
-      expiry;
-  auto next_expiry = [&]() -> common::Seconds {
+
+  common::Seconds slice_time(std::uint64_t j) const {
+    return seg_base + static_cast<double>(j) * config.slice;
+  }
+
+  common::Seconds next_expiry() {
     while (!expiry.empty()) {
-      const std::size_t ci = expiry.top().second;
+      const std::size_t ci = expiry.front().second;
       if (coflows[ci].state.completed() ||
           coflows[ci].state.slo == fabric::SloClass::kRejected) {
-        expiry.pop();
+        std::pop_heap(expiry.begin(), expiry.end(),
+                      std::greater<ExpiryEntry>{});
+        expiry.pop_back();
         continue;
       }
-      return expiry.top().first;
+      return expiry.front().first;
     }
     return std::numeric_limits<common::Seconds>::infinity();
-  };
+  }
 
-  // ---- Segment state. ----
-  // Time is always seg_base + j * slice (never accumulated), so both modes
-  // land on bit-identical boundary timestamps.
-  common::Seconds seg_base =
-      coflows.empty() ? 0.0 : coflows[arrival_order[0]].state.arrival;
-  std::uint64_t seg_j = 0;
-  bool seg_valid = false;
-  std::uint64_t seg_epoch = 0;
-  std::vector<FlowSeg> seg(flows.size());
-  std::vector<fabric::FlowId> seg_flows;  // snapshot members, in walk order
-  std::uint64_t seg_min_event_j = kNoEvent;
-  double seg_progress_step = 0;       // bytes disposed per interior slice
-  std::uint64_t seg_stall_count = 0;  // flows pinned on a failed link
-  common::Seconds seg_cpu_T =
-      std::numeric_limits<common::Seconds>::infinity();
-  bool seg_has_blocked = false;  // compress flow with no CPU: resample ASAP
-
-  const auto slice_time = [&](std::uint64_t j) {
-    return seg_base + static_cast<double>(j) * config.slice;
-  };
-
-  // Utilization sampling: wire bytes moved in the current window over the
-  // fabric's total egress capacity. Windows are settled from the cumulative
-  // sent total at flush boundaries (closed form, no per-period loop).
-  common::Seconds window_start = slice_time(0);
-  double window_sent_base = 0;
-  double egress_capacity_total = 0;
-  for (fabric::PortId p = 0; p < fabric.num_ports(); ++p)
-    egress_capacity_total += fabric.egress_capacity(p);
-  std::vector<UtilizationSample> samples;
-
-  bool need_schedule = true;
-  bool coflow_event = true;  // arrival/coflow-completion since last schedule
-  std::int64_t stalled = 0;
-  obs::Sink* const sink = config.sink;
-  DegradationStats dstats;
-  // Flows that have been covered by at least one allocation: a beta change
-  // before the first decision is not a "flip".
-  std::vector<char> decided(flows.size(), 0);
-  // Cold, out-of-line trace emitters: the Args machinery stays off the
-  // round hot paths, which see only a null test when no sink is set.
-  struct ColdEmit {
-    [[gnu::noinline, gnu::cold]] static void flow_complete(
-        obs::Sink* sink, common::Seconds when, std::int64_t flow,
-        std::int64_t coflow, common::Seconds fct) {
-      obs::emit_instant(sink, obs::sim_ts(when), "flow_complete", "sim",
-                        obs::Args()
-                            .add("flow", flow)
-                            .add("coflow", coflow)
-                            .add("fct", fct)
-                            .str());
-    }
-    [[gnu::noinline, gnu::cold]] static void coflow_complete(
-        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
-        common::Seconds cct) {
-      obs::emit_instant(sink, obs::sim_ts(when), "coflow_complete", "sim",
-                        obs::Args()
-                            .add("coflow", coflow)
-                            .add("cct", cct)
-                            .str());
-      sink->registry().counter("sim.coflows_completed").add();
-    }
-    [[gnu::noinline, gnu::cold]] static void coflow_arrival(
-        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
-        std::int64_t width) {
-      obs::emit_instant(sink, obs::sim_ts(when), "coflow_arrival", "sim",
-                        obs::Args()
-                            .add("coflow", coflow)
-                            .add("width", width)
-                            .str());
-      sink->registry().counter("sim.coflows_arrived").add();
-    }
-    [[gnu::noinline, gnu::cold]] static void schedule_round(
-        obs::Sink* sink, common::Seconds now, std::uint64_t round,
-        const std::string& scheduler, std::int64_t coflows,
-        std::int64_t flows) {
-      obs::emit_instant(sink, obs::sim_ts(now), "schedule_round", "sim",
-                        obs::Args()
-                            .add("round", round)
-                            .add("scheduler", scheduler)
-                            .add("coflows", coflows)
-                            .add("flows", flows)
-                            .str());
-    }
-    [[gnu::noinline, gnu::cold]] static void preemption(obs::Sink* sink,
-                                                        common::Seconds now,
-                                                        std::int64_t flow,
-                                                        std::int64_t coflow) {
-      obs::emit_instant(sink, obs::sim_ts(now), "preemption", "sim",
-                        obs::Args()
-                            .add("flow", flow)
-                            .add("coflow", coflow)
-                            .str());
-    }
-    [[gnu::noinline, gnu::cold]] static void capacity_change(
-        obs::Sink* sink, common::Seconds when, std::int64_t port,
-        double old_multiplier, double new_multiplier, double ingress_bps,
-        double egress_bps) {
-      obs::emit_instant(sink, obs::sim_ts(when), "capacity_change", "fabric",
-                        obs::Args()
-                            .add("port", port)
-                            .add("old_multiplier", old_multiplier)
-                            .add("multiplier", new_multiplier)
-                            .add("ingress_bps", ingress_bps)
-                            .add("egress_bps", egress_bps)
-                            .str());
-      if (new_multiplier == 0.0)
-        obs::emit_instant(sink, obs::sim_ts(when), "link_down", "fabric",
-                          obs::Args().add("port", port).str());
-      else if (old_multiplier == 0.0)
-        obs::emit_instant(sink, obs::sim_ts(when), "link_up", "fabric",
-                          obs::Args().add("port", port).str());
-    }
-    [[gnu::noinline, gnu::cold]] static void admission_verdict(
-        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
-        const char* verdict, const char* reason, common::Seconds slack) {
-      obs::emit_instant(sink, obs::sim_ts(when), "admission_verdict", "slo",
-                        obs::Args()
-                            .add("coflow", coflow)
-                            .add("verdict", verdict)
-                            .add("reason", reason)
-                            .add("slack", slack)
-                            .str());
-    }
-    [[gnu::noinline, gnu::cold]] static void coflow_rejected(
-        obs::Sink* sink, common::Seconds when, std::int64_t coflow,
-        bool midflight, common::Bytes shed) {
-      obs::emit_instant(sink, obs::sim_ts(when),
-                        midflight ? "coflow_shed" : "coflow_rejected", "slo",
-                        obs::Args()
-                            .add("coflow", coflow)
-                            .add("shed_bytes", shed)
-                            .str());
-      sink->registry()
-          .counter(midflight ? "slo.coflows_shed" : "slo.coflows_rejected")
-          .add();
-    }
-    [[gnu::noinline, gnu::cold]] static void compression_done(
-        obs::Sink* sink, common::Seconds now, std::int64_t flow,
-        std::int64_t coflow, common::Bytes compressed) {
-      obs::emit_instant(sink, obs::sim_ts(now), "compression_done", "sim",
-                        obs::Args()
-                            .add("flow", flow)
-                            .add("coflow", coflow)
-                            .add("compressed_bytes", compressed)
-                            .str());
-    }
-  };
-  std::uint64_t round = 0;   // scheduling rounds, for trace correlation
-  std::uint64_t slices = 0;  // advanced slices, reported via the registry
+  void push_expiry(common::Seconds deadline, std::size_t ci) {
+    expiry.emplace_back(deadline, ci);
+    std::push_heap(expiry.begin(), expiry.end(), std::greater<ExpiryEntry>{});
+  }
 
   // Samples the degradation schedule at `now` and applies any changed port
   // multipliers to the live fabric. Capacity changes are first-class
   // preemption points: they force a scheduling round and count as coflow
   // events so Pseudocode 3's priority escalation ages stalled coflows.
-  auto apply_capacity = [&](common::Seconds now) {
+  void apply_capacity(common::Seconds now) {
     for (fabric::PortId p = 0; p < live.num_ports(); ++p) {
       const double m = degrade.multiplier_at(p, now);
       const double prev = live.port_multiplier(p);
       if (m == prev) continue;
+      journal_event(recovery::JournalType::kCapacityChange, now, p, 0, m);
       live.set_port_multiplier(p, m);
       if (track) tracker.port_capacity_changed(p);
       ++dstats.capacity_changes;
@@ -388,18 +441,11 @@ Metrics run_simulation(const workload::Trace& trace,
                                   live.ingress_capacity(p),
                                   live.egress_capacity(p));
     }
-  };
-  common::Seconds next_capacity_change =
-      std::numeric_limits<common::Seconds>::infinity();
-  if (degrade_on) {
-    apply_capacity(seg_base);  // an episode may already cover first arrival
-    next_capacity_change = degrade.next_change_after(seg_base);
   }
 
   // Marks a flow finished at `when`, updating its coflow when it was the
   // last one out.
-  auto finalize_flow = [&](fabric::Flow& f, SimCoflow& sc,
-                           common::Seconds when) {
+  void finalize_flow(fabric::Flow& f, SimCoflow& sc, common::Seconds when) {
     if (config.model_decompression && config.codec != nullptr &&
         f.sent_compressed > 0 && config.codec->decompress_speed > 0) {
       // Receiver-side decoding, serialized after the last byte arrives.
@@ -411,6 +457,8 @@ Metrics run_simulation(const workload::Trace& trace,
       const double slots = std::ceil((when - 1e-12) / config.slice);
       when = std::max(when, slots * config.slice);
     }
+    journal_event(recovery::JournalType::kFlowComplete, when, f.id,
+                  sc.trace_id);
     f.raw_remaining = 0;
     f.compressed_pending = 0;
     f.completion = when;
@@ -421,6 +469,8 @@ Metrics run_simulation(const workload::Trace& trace,
                               std::int64_t(sc.trace_id), when - f.arrival);
     sc.completion_max = std::max(sc.completion_max, when);
     if (--sc.unfinished == 0) {
+      journal_event(recovery::JournalType::kCoflowComplete, sc.completion_max,
+                    sc.trace_id);
       sc.state.completion = sc.completion_max;
       ++completed;
       coflow_event = true;
@@ -430,15 +480,18 @@ Metrics run_simulation(const workload::Trace& trace,
                                   std::int64_t(sc.trace_id),
                                   sc.state.completion - sc.state.arrival);
     }
-  };
+  }
 
   // Drops a coflow's remaining volume: called at arrival (verdict kReject,
   // before the coflow ever enters the active set) or mid-flight (deadline
-  // expired under shed_expired — caller must have folded the running segment
-  // first so no live snapshot resurrects the zeroed pools). Completions stay
-  // kNeverCompleted, so every FCT/CCT aggregate skips the shed records.
-  auto mark_rejected = [&](SimCoflow& sc, bool midflight,
-                           common::Seconds when) {
+  // expired under shed_expired — caller must have folded the running
+  // segment first so no live snapshot resurrects the zeroed pools).
+  // Completions stay kNeverCompleted, so every FCT/CCT aggregate skips the
+  // shed records. Arrival-time rejections are not separately journaled —
+  // they follow deterministically from the kAdmissionVerdict record.
+  void mark_rejected(SimCoflow& sc, bool midflight, common::Seconds when) {
+    if (midflight)
+      journal_event(recovery::JournalType::kShed, when, sc.trace_id);
     common::Bytes shed = 0;
     for (const fabric::FlowId fid : sc.state.flows) {
       fabric::Flow& f = flows[fid];
@@ -464,40 +517,13 @@ Metrics run_simulation(const workload::Trace& trace,
     if (sink != nullptr) [[unlikely]]
       ColdEmit::coflow_rejected(sink, when, std::int64_t(sc.trace_id),
                                 midflight, shed);
-  };
-
-  // ---- Canonical per-segment flow evolution. ----
-  // Transmit drains compressed-then-raw at `step` bytes per slice:
-  //   w(j)  = min(d0 + D0, j * step)           cumulative wire bytes
-  //   wc(j) = min(D0, w(j))                    ... of which compressed
-  //   d(j)  = d0 - min(d0, max(0, w(j) - D0))
-  // Compression converts raw at `step` bytes per slice:
-  //   cc(j) = min(d0, j * step)                cumulative raw consumed
-  //   d(j)  = d0 - cc(j),  D(j) = D0 + cc(j) * ratio
-  // All monotone in j, so event detection is a monotone-predicate search.
-  auto materialize_flow = [&](fabric::Flow& f, const FlowSeg& s,
-                              std::uint64_t j) {
-    if (s.mode == FlowSeg::kTransmit) {
-      const double w =
-          std::min(s.d0 + s.D0, static_cast<double>(j) * s.step);
-      const double wc = std::min(s.D0, w);
-      f.raw_remaining = s.d0 - std::min(s.d0, std::max(0.0, w - s.D0));
-      f.compressed_pending = s.D0 - wc;
-      f.sent = s.sent0 + w;
-      f.sent_compressed = s.sentc0 + wc;
-    } else if (s.mode == FlowSeg::kCompress) {
-      const double cc = std::min(s.d0, static_cast<double>(j) * s.step);
-      f.raw_remaining = s.d0 - cc;
-      f.compressed_pending = s.D0 + cc * s.ratio;
-    }
-    // kIdle/kBlocked flows do not move.
-  };
+  }
 
   // Writes every live snapshot member back into its flow's pools at the
   // current boundary. Fold points are mode-independent (schedule rounds and
   // CPU-headroom re-evaluations), which keeps the FP evaluation order — and
   // therefore every emitted metric — identical across engine modes.
-  auto materialize_segment = [&]() {
+  void materialize_segment() {
     for (const fabric::FlowId fid : seg_flows) {
       FlowSeg& s = seg[fid];
       if (s.epoch != seg_epoch) continue;  // settled by an event
@@ -506,12 +532,12 @@ Metrics run_simulation(const workload::Trace& trace,
       s.epoch = 0;
     }
     seg_valid = false;
-  };
+  }
 
   // Cumulative wire bytes over all flows at the current boundary, without
   // materializing (canonical formulas for live snapshot members). Flow-id
   // order fixes the FP summation order across modes.
-  auto cumulative_sent = [&]() {
+  double cumulative_sent() const {
     double total = 0;
     for (const fabric::Flow& f : flows) {
       const FlowSeg& s = seg[f.id];
@@ -523,18 +549,17 @@ Metrics run_simulation(const workload::Trace& trace,
         total += f.sent;
     }
     return total;
-  };
+  }
 
   // Settles every utilization window that closed by `now`. Closed-form: the
   // first window takes all bytes moved since the last flush, later windows
   // (idle stretches) are zero — no per-period catch-up loop.
-  auto maybe_sample = [&](common::Seconds now) {
+  void maybe_sample(common::Seconds now) {
     if (config.utilization_sample_period <= 0) return;
     const common::Seconds p = config.utilization_sample_period;
     if (now - window_start < p) return;
     const double sent_total = cumulative_sent();
-    std::uint64_t n =
-        static_cast<std::uint64_t>((now - window_start) / p);
+    std::uint64_t n = static_cast<std::uint64_t>((now - window_start) / p);
     while (n > 0 &&
            now - (window_start + static_cast<double>(n - 1) * p) < p)
       --n;
@@ -546,13 +571,13 @@ Metrics run_simulation(const workload::Trace& trace,
     }
     window_start += static_cast<double>(n) * p;
     window_sent_base = sent_total;
-  };
+  }
 
   // Re-snapshots every unfinished flow of every active coflow at the
   // current boundary: decision tables -> per-flow segment constants plus
   // the segment aggregates (earliest event, interior-slice progress, stall
   // census, CPU-headroom promise).
-  auto snapshot_segment = [&]() {
+  void snapshot_segment() {
     ++seg_epoch;
     seg_flows.clear();
     seg_min_event_j = kNoEvent;
@@ -629,21 +654,9 @@ Metrics run_simulation(const workload::Trace& trace,
       }
     }
     seg_valid = true;
-  };
+  }
 
-  // Reusable scheduling context (satellite: reserve from previous rounds —
-  // clear_round() keeps the vectors' capacity, so steady-state rounds do
-  // not reallocate). The engine walks coflow-by-coflow anyway, so it hands
-  // the coflow grouping to the scheduler via coflow_flow_offsets.
-  sched::SchedContext ctx;
-  ctx.fabric = &live;
-  ctx.cpu = &cpu;
-  ctx.slice = config.slice;
-  ctx.codec = config.codec;
-  ctx.sink = sink;
-  ctx.tracker = track ? &tracker : nullptr;
-
-  auto build_context = [&]() {
+  void build_context() {
     ctx.clear_round();
     ctx.now = slice_time(seg_j);
     ctx.coflows.reserve(active.size());
@@ -655,7 +668,531 @@ Metrics run_simulation(const workload::Trace& trace,
         if (!flows[fid].done()) ctx.flows.push_back(&flows[fid]);
     }
     ctx.coflow_flow_offsets.push_back(ctx.flows.size());
+  }
+
+  // ---- Crash-fault tolerance (DESIGN.md section 13). ----
+  void setup_recovery();
+  std::uint64_t compute_fingerprint() const;
+  void journal_event(recovery::JournalType type, common::Seconds time,
+                     std::uint64_t a, std::uint64_t b = 0, double x = 0.0);
+  [[noreturn]] void do_crash(const std::string& where);
+  void checkpoint(common::Seconds t);
+  void save_state(recovery::StateWriter& w) const;
+  void restore_state(recovery::StateReader& r);
+
+  // ---- Immutable run inputs. ----
+  const fabric::Fabric& fabric;
+  const cpu::CpuProvider& cpu;
+  sched::Scheduler& sched;
+  const SimConfig& config;
+  const bool event_mode;
+  const fabric::DegradationSchedule degrade;
+  const bool degrade_on;
+  // `live` is the engine's mutable view of the fabric: nominal capacities
+  // scaled by the degradation schedule's per-port multipliers. Schedulers,
+  // the Eq. 3 compression gate and the feasibility check all read `live`,
+  // so every decision is priced against what the ports can carry *now*.
+  fabric::Fabric live;
+  const bool admit_on;
+  core::AdmissionController admission;
+  const bool track;
+  sched::DirtyTracker tracker;
+  obs::Sink* const sink;
+
+  // ---- Run state (everything save_state serializes or rederives). ----
+  std::vector<fabric::Flow> flows;
+  std::vector<SimCoflow> coflows;
+  std::vector<std::size_t> arrival_order;
+  std::size_t next_arrival = 0;
+  std::vector<std::size_t> active;  // indices of arrived, uncompleted coflows
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  // coflows dropped by the SLO admission layer
+  std::vector<double> rate;
+  std::vector<char> compress;
+  SloStats sstats;
+  std::vector<ExpiryEntry> expiry;
+
+  common::Seconds seg_base = 0;
+  std::uint64_t seg_j = 0;
+  bool seg_valid = false;
+  std::uint64_t seg_epoch = 0;
+  std::vector<FlowSeg> seg;
+  std::vector<fabric::FlowId> seg_flows;  // snapshot members, in walk order
+  std::uint64_t seg_min_event_j = kNoEvent;
+  double seg_progress_step = 0;       // bytes disposed per interior slice
+  std::uint64_t seg_stall_count = 0;  // flows pinned on a failed link
+  common::Seconds seg_cpu_T = std::numeric_limits<common::Seconds>::infinity();
+  bool seg_has_blocked = false;  // compress flow with no CPU: resample ASAP
+
+  common::Seconds window_start = 0;
+  double window_sent_base = 0;
+  double egress_capacity_total = 0;
+  std::vector<UtilizationSample> samples;
+
+  bool need_schedule = true;
+  bool coflow_event = true;  // arrival/coflow-completion since last schedule
+  std::int64_t stalled = 0;
+  DegradationStats dstats;
+  std::vector<char> decided;
+  std::uint64_t round = 0;   // scheduling rounds, for trace correlation
+  std::uint64_t slices = 0;  // advanced slices, reported via the registry
+  common::Seconds next_capacity_change =
+      std::numeric_limits<common::Seconds>::infinity();
+  sched::SchedContext ctx;
+
+  // ---- Recovery state (process-local, never serialized). ----
+  recovery::JournalWriter journal_;
+  std::string journal_path_;
+  /// Journal suffix a restored run verifies its regenerated events against.
+  std::deque<recovery::JournalRecord> verify_;
+  std::uint64_t journal_seq_ = 0;
+  std::uint64_t event_count_ = 0;    // journaled events this *process*
+  std::uint64_t snap_attempts_ = 0;  // snapshot writes this *process*
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t ckpt_every_ = 0;
+  std::uint64_t restored_seq_ = 0;
+  bool journal_on_ = false;
+  bool restored_ = false;
+  const recovery::CrashPlan* crash_ = nullptr;
+};
+
+// ---- Recovery plumbing. ----
+
+std::uint64_t Engine::compute_fingerprint() const {
+  recovery::Fingerprint fp;
+  fp.mix(std::string("swallow.sim.v1"));
+  fp.mix(sched.name());
+  fp.mix(config.slice);
+  fp.mix(std::uint64_t(event_mode));
+  fp.mix(std::uint64_t(config.incremental_sched));
+  fp.mix(std::uint64_t(config.codec != nullptr));
+  if (config.codec != nullptr) {
+    fp.mix(config.codec->name);
+    fp.mix(config.codec->compress_speed);
+    fp.mix(config.codec->decompress_speed);
+    fp.mix(config.codec->ratio);
+  }
+  fp.mix(config.max_time);
+  fp.mix(std::uint64_t(config.quantize_completions));
+  fp.mix(std::uint64_t(config.model_decompression));
+  fp.mix(config.utilization_sample_period);
+  const fabric::DegradationConfig& dg = config.degradation;
+  fp.mix(dg.rate);
+  fp.mix(dg.seed);
+  fp.mix(dg.epoch);
+  fp.mix(dg.min_duration);
+  fp.mix(dg.max_duration);
+  fp.mix(dg.failure_fraction);
+  fp.mix(dg.flap_fraction);
+  fp.mix(dg.brownout_floor);
+  fp.mix(dg.brownout_ceiling);
+  fp.mix(dg.flap_half_period);
+  const core::AdmissionConfig& ad = config.admission;
+  fp.mix(std::uint64_t(ad.enabled));
+  fp.mix(ad.reject_margin);
+  fp.mix(ad.max_slo_share);
+  fp.mix(std::uint64_t(ad.shed_expired));
+  fp.mix(std::uint64_t(fabric.num_ports()));
+  for (fabric::PortId p = 0; p < fabric.num_ports(); ++p) {
+    fp.mix(fabric.nominal_ingress_capacity(p));
+    fp.mix(fabric.nominal_egress_capacity(p));
+  }
+  fp.mix(std::uint64_t(coflows.size()));
+  fp.mix(std::uint64_t(flows.size()));
+  for (const SimCoflow& sc : coflows) {
+    fp.mix(sc.trace_id);
+    fp.mix(sc.job);
+    fp.mix(sc.state.arrival);
+    fp.mix(sc.state.deadline);
+    fp.mix(std::uint64_t(sc.state.flows.size()));
+  }
+  for (const fabric::Flow& f : flows) {
+    fp.mix(std::uint64_t(f.src));
+    fp.mix(std::uint64_t(f.dst));
+    fp.mix(f.original_bytes);
+    fp.mix(f.arrival);
+    fp.mix(std::uint64_t(f.compressible));
+    fp.mix(f.compress_ratio);
+  }
+  return fp.value();
+}
+
+void Engine::setup_recovery() {
+  const recovery::RecoveryOptions& opt = config.recovery;
+  if (opt.dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opt.dir, ec);
+  fingerprint_ = compute_fingerprint();
+  ckpt_every_ = opt.checkpoint_every;
+  journal_on_ = opt.journal;
+  journal_path_ = opt.dir + "/journal.swj";
+  crash_ = opt.crash;
+
+  if (opt.restore) {
+    auto snap = recovery::load_latest_snapshot(opt.dir, fingerprint_);
+    if (snap.has_value()) {
+      recovery::StateReader r(snap->payload);
+      restore_state(r);
+      restored_ = true;
+      restored_seq_ = snap->meta.seq;
+      // The restored run owns a fresh DirtyTracker session: re-register
+      // the active coflows and let the schedulers rebuild their memoized
+      // rank state from scratch on first contact (byte-equivalent to the
+      // incremental state the crashed run carried — the invariant
+      // test_incremental pins).
+      if (track)
+        for (const std::size_t ci : active)
+          tracker.coflow_arrived(&coflows[ci].state);
+    }
+    if (journal_on_) {
+      recovery::JournalScan scan;
+      if (fs::exists(journal_path_, ec))
+        scan = recovery::read_journal(journal_path_);
+      if (scan.torn) recovery::truncate_torn_tail(journal_path_, scan);
+      for (const recovery::JournalRecord& rec : scan.records)
+        if (rec.seq >= journal_seq_) verify_.push_back(rec);
+      if (!verify_.empty() && verify_.front().seq != journal_seq_) {
+        // The journal does not reach back to the snapshot's cursor (e.g. a
+        // rotated or separately damaged file). Determinism still yields a
+        // correct run, so drop the cross-check and restart the journal at
+        // the snapshot instead of failing the restore.
+        verify_.clear();
+        fs::remove(journal_path_, ec);
+      }
+    }
+    if (sink != nullptr)
+      ColdEmit::restored(sink, seg_base, restored_seq_,
+                         std::int64_t(verify_.size()));
+  } else if (journal_on_) {
+    // Fresh run: a stale journal from a previous run in the same dir must
+    // not be mistaken for this run's prefix.
+    fs::remove(journal_path_, ec);
+  }
+  if (journal_on_) journal_.open(journal_path_);
+}
+
+void Engine::journal_event(recovery::JournalType type, common::Seconds time,
+                           std::uint64_t a, std::uint64_t b, double x) {
+  if (!journal_on_) return;
+  recovery::JournalRecord rec;
+  rec.seq = journal_seq_++;
+  rec.type = type;
+  rec.time = time;
+  rec.a = a;
+  rec.b = b;
+  rec.x = x;
+  if (!verify_.empty()) {
+    // Replay verification: the regenerated stream must reproduce the
+    // journal suffix exactly (those bytes are already on disk, so nothing
+    // is re-appended). Divergence means the snapshot, trace or config does
+    // not match what wrote the journal.
+    const recovery::JournalRecord& want = verify_.front();
+    if (!(rec == want))
+      throw recovery::RecoveryError(
+          std::string("recovery: journal divergence at seq ") +
+          std::to_string(rec.seq) + " (journal: " +
+          recovery::journal_type_name(want.type) + ", regenerated: " +
+          recovery::journal_type_name(rec.type) + ")");
+    verify_.pop_front();
+  } else {
+    journal_.append(rec);
+  }
+  ++event_count_;
+  if (crash_ != nullptr && crash_->kill_at_event > 0 &&
+      event_count_ == crash_->kill_at_event)
+    do_crash("journal event " + std::to_string(event_count_));
+}
+
+void Engine::do_crash(const std::string& where) {
+  journal_.close();
+  if (crash_ != nullptr && crash_->torn_tail_bytes > 0 && journal_on_) {
+    // Model an append that only partially reached the disk.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(journal_path_, ec);
+    if (!ec && size > 0) {
+      const std::uintmax_t keep =
+          size > crash_->torn_tail_bytes ? size - crash_->torn_tail_bytes : 0;
+      fs::resize_file(journal_path_, keep, ec);
+    }
+  }
+  throw recovery::CrashError("sim: injected crash at " + where);
+}
+
+void Engine::checkpoint(common::Seconds t) {
+  // Write-ahead: the checkpoint marker lands in the journal before the
+  // snapshot file exists, so a crash mid-snapshot leaves a journal the
+  // previous snapshot's replay can still verify end-to-end.
+  journal_event(recovery::JournalType::kCheckpoint, t, round);
+  recovery::StateWriter w;
+  save_state(w);
+  ++snap_attempts_;
+  struct CrashingHook : recovery::SnapshotCrashHook {
+    Engine* engine = nullptr;
+    void on_tmp_written(const std::string&) override {
+      engine->do_crash("mid-snapshot");
+    }
   };
+  CrashingHook hook;
+  hook.engine = this;
+  const bool crash_here = crash_ != nullptr && crash_->kill_mid_snapshot > 0 &&
+                          snap_attempts_ == crash_->kill_mid_snapshot;
+  recovery::SnapshotMeta meta;
+  meta.seq = round;
+  meta.fingerprint = fingerprint_;
+  recovery::write_snapshot(config.recovery.dir, meta, w.buffer(),
+                           crash_here ? &hook : nullptr);
+  if (sink != nullptr) [[unlikely]]
+    ColdEmit::snapshot_written(sink, t, round, std::int64_t(w.size()));
+}
+
+void Engine::save_state(recovery::StateWriter& w) const {
+  // Only non-derivable state is serialized: everything keyed to the
+  // DirtyTracker session (scheduler rank indexes, memoized Γ caches) is
+  // rebuilt from this state on first contact, and the segment tables are
+  // always settled (seg_valid == false) at a checkpoint fold point.
+  w.u32(tag4('E', 'N', 'G', 'N'));
+  w.u64(journal_seq_);
+  w.u64(round);
+  w.u64(slices);
+  w.u64(completed);
+  w.u64(rejected);
+  w.u64(next_arrival);
+  w.u64(static_cast<std::uint64_t>(stalled));
+  w.boolean(need_schedule);
+  w.boolean(coflow_event);
+  w.f64(seg_base);
+  w.u64(seg_j);
+  w.f64(window_start);
+  w.f64(window_sent_base);
+  w.f64(next_capacity_change);
+
+  w.u32(tag4('F', 'L', 'W', 'S'));
+  w.u64(flows.size());
+  for (const fabric::Flow& f : flows) {
+    w.f64(f.raw_remaining);
+    w.f64(f.compressed_pending);
+    w.f64(f.sent);
+    w.f64(f.sent_compressed);
+    w.f64(f.completion);
+    w.boolean(f.compress_enabled);
+  }
+
+  w.u32(tag4('R', 'A', 'T', 'E'));
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    w.f64(rate[i]);
+    w.u8(static_cast<std::uint8_t>(compress[i]));
+    w.u8(static_cast<std::uint8_t>(decided[i]));
+  }
+
+  w.u32(tag4('C', 'O', 'F', 'L'));
+  w.u64(coflows.size());
+  for (const SimCoflow& sc : coflows) {
+    w.f64(sc.state.priority);
+    w.f64(sc.state.completion);
+    w.u8(static_cast<std::uint8_t>(sc.state.slo));
+    w.u64(sc.unfinished);
+    w.f64(sc.completion_max);
+  }
+
+  w.u32(tag4('A', 'C', 'T', 'V'));
+  w.u64(active.size());
+  for (const std::size_t ci : active) w.u64(ci);
+
+  w.u32(tag4('E', 'X', 'P', 'H'));
+  w.u64(expiry.size());
+  for (const ExpiryEntry& e : expiry) {
+    w.f64(e.first);
+    w.u64(e.second);
+  }
+
+  w.u32(tag4('F', 'A', 'B', 'R'));
+  w.u64(live.num_ports());
+  for (fabric::PortId p = 0; p < live.num_ports(); ++p)
+    w.f64(live.port_multiplier(p));
+
+  w.u32(tag4('U', 'T', 'I', 'L'));
+  w.u64(samples.size());
+  for (const UtilizationSample& s : samples) {
+    w.f64(s.t);
+    w.f64(s.egress_utilization);
+  }
+
+  w.u32(tag4('D', 'S', 'T', 'A'));
+  w.u64(dstats.capacity_changes);
+  w.u64(dstats.link_failures);
+  w.u64(dstats.stalled_flow_slices);
+  w.u64(dstats.compression_flips);
+
+  w.u32(tag4('S', 'S', 'T', 'A'));
+  w.u64(sstats.with_deadline);
+  w.u64(sstats.admitted);
+  w.u64(sstats.degraded);
+  w.u64(sstats.deferred);
+  w.u64(sstats.rejected);
+  w.u64(sstats.shed_midflight);
+  w.f64(sstats.shed_bytes);
+
+  w.u32(tag4('A', 'D', 'M', 'S'));
+  w.boolean(admit_on);
+  if (admit_on) admission.save_state(w);
+
+  w.u32(tag4('S', 'C', 'H', 'D'));
+  w.str(sched.name());
+  sched.save_state(w);
+
+  w.u32(tag4('E', 'N', 'D', '!'));
+}
+
+void Engine::restore_state(recovery::StateReader& r) {
+  expect_tag(r, tag4('E', 'N', 'G', 'N'), "ENGN");
+  journal_seq_ = r.u64();
+  round = r.u64();
+  slices = r.u64();
+  completed = r.u64();
+  rejected = r.u64();
+  next_arrival = r.u64();
+  if (next_arrival > arrival_order.size())
+    throw recovery::RecoveryError(
+        "recovery: snapshot arrival cursor out of range");
+  stalled = static_cast<std::int64_t>(r.u64());
+  need_schedule = r.boolean();
+  coflow_event = r.boolean();
+  seg_base = r.f64();
+  seg_j = r.u64();
+  window_start = r.f64();
+  window_sent_base = r.f64();
+  next_capacity_change = r.f64();
+
+  expect_tag(r, tag4('F', 'L', 'W', 'S'), "FLWS");
+  if (r.u64() != flows.size())
+    throw recovery::RecoveryError("recovery: snapshot flow count mismatch");
+  for (fabric::Flow& f : flows) {
+    f.raw_remaining = r.f64();
+    f.compressed_pending = r.f64();
+    f.sent = r.f64();
+    f.sent_compressed = r.f64();
+    f.completion = r.f64();
+    f.compress_enabled = r.boolean();
+  }
+
+  expect_tag(r, tag4('R', 'A', 'T', 'E'), "RATE");
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    rate[i] = r.f64();
+    compress[i] = static_cast<char>(r.u8());
+    decided[i] = static_cast<char>(r.u8());
+  }
+
+  expect_tag(r, tag4('C', 'O', 'F', 'L'), "COFL");
+  if (r.u64() != coflows.size())
+    throw recovery::RecoveryError("recovery: snapshot coflow count mismatch");
+  for (SimCoflow& sc : coflows) {
+    sc.state.priority = r.f64();
+    sc.state.completion = r.f64();
+    const std::uint8_t slo = r.u8();
+    if (slo > static_cast<std::uint8_t>(fabric::SloClass::kRejected))
+      throw recovery::RecoveryError(
+          "recovery: snapshot carries an invalid SLO class");
+    sc.state.slo = static_cast<fabric::SloClass>(slo);
+    sc.unfinished = r.u64();
+    if (sc.unfinished > sc.state.flows.size())
+      throw recovery::RecoveryError(
+          "recovery: snapshot unfinished count exceeds coflow width");
+    sc.completion_max = r.f64();
+  }
+
+  expect_tag(r, tag4('A', 'C', 'T', 'V'), "ACTV");
+  active.resize(r.count("active coflow"));
+  for (std::size_t& ci : active) {
+    ci = r.u64();
+    if (ci >= coflows.size())
+      throw recovery::RecoveryError(
+          "recovery: snapshot active index out of range");
+  }
+
+  expect_tag(r, tag4('E', 'X', 'P', 'H'), "EXPH");
+  expiry.resize(r.count("expiry heap"));
+  for (ExpiryEntry& e : expiry) {
+    e.first = r.f64();
+    e.second = r.u64();
+    if (e.second >= coflows.size())
+      throw recovery::RecoveryError(
+          "recovery: snapshot expiry index out of range");
+  }
+
+  expect_tag(r, tag4('F', 'A', 'B', 'R'), "FABR");
+  if (r.u64() != live.num_ports())
+    throw recovery::RecoveryError("recovery: snapshot port count mismatch");
+  for (fabric::PortId p = 0; p < live.num_ports(); ++p) {
+    const double m = r.f64();
+    if (!(m >= 0.0 && m <= 1.0))
+      throw recovery::RecoveryError(
+          "recovery: snapshot port multiplier out of range");
+    live.set_port_multiplier(p, m);
+  }
+
+  expect_tag(r, tag4('U', 'T', 'I', 'L'), "UTIL");
+  samples.resize(r.count("utilization sample"));
+  for (UtilizationSample& s : samples) {
+    s.t = r.f64();
+    s.egress_utilization = r.f64();
+  }
+
+  expect_tag(r, tag4('D', 'S', 'T', 'A'), "DSTA");
+  dstats.capacity_changes = r.u64();
+  dstats.link_failures = r.u64();
+  dstats.stalled_flow_slices = r.u64();
+  dstats.compression_flips = r.u64();
+
+  expect_tag(r, tag4('S', 'S', 'T', 'A'), "SSTA");
+  sstats.with_deadline = r.u64();
+  sstats.admitted = r.u64();
+  sstats.degraded = r.u64();
+  sstats.deferred = r.u64();
+  sstats.rejected = r.u64();
+  sstats.shed_midflight = r.u64();
+  sstats.shed_bytes = r.f64();
+
+  expect_tag(r, tag4('A', 'D', 'M', 'S'), "ADMS");
+  if (r.boolean() != admit_on)
+    throw recovery::RecoveryError(
+        "recovery: snapshot admission layer on/off mismatch");
+  if (admit_on) admission.restore_state(r);
+
+  expect_tag(r, tag4('S', 'C', 'H', 'D'), "SCHD");
+  const std::string snap_sched = r.str();
+  if (snap_sched != sched.name())
+    throw recovery::RecoveryError("recovery: snapshot was taken under " +
+                                  snap_sched + ", restoring under " +
+                                  sched.name());
+  sched.restore_state(r);
+
+  expect_tag(r, tag4('E', 'N', 'D', '!'), "END!");
+  if (!r.at_end())
+    throw recovery::RecoveryError(
+        "recovery: trailing bytes after snapshot payload", r.offset());
+
+  // Snapshots are only cut at fold points: the segment tables restart
+  // empty and the next loop iteration re-snapshots at the same boundary
+  // the crashed run did.
+  seg_valid = false;
+  seg_epoch = 0;
+}
+
+// ---- The main loop. ----
+
+Metrics Engine::run() {
+  setup_recovery();
+
+  if (!restored_ && degrade_on) {
+    // An episode may already cover the first arrival. Runs after recovery
+    // setup so the initial capacity events hit the journal too; a restored
+    // run skips it — its multipliers and schedule cursor come from the
+    // snapshot.
+    apply_capacity(seg_base);
+    next_capacity_change = degrade.next_change_after(seg_base);
+  }
 
   while (completed + rejected < coflows.size()) {
     const common::Seconds t = slice_time(seg_j);
@@ -670,13 +1207,15 @@ Metrics run_simulation(const workload::Trace& trace,
 
     // Activate arrivals due by now, gating each through admission when the
     // SLO layer is on. Verdicts are priced at the coflow's own arrival
-    // instant against the live fabric — both mode-independent quantities, so
-    // event and slice engines reach identical decisions.
+    // instant against the live fabric — both mode-independent quantities,
+    // so event and slice engines reach identical decisions.
     while (next_arrival < arrival_order.size() &&
            coflows[arrival_order[next_arrival]].state.arrival <= t + kTiny) {
       const std::size_t ci = arrival_order[next_arrival];
       SimCoflow& sc = coflows[ci];
       ++next_arrival;
+      journal_event(recovery::JournalType::kArrival, sc.state.arrival,
+                    sc.trace_id, sc.state.flows.size());
       if (sink != nullptr) [[unlikely]]
         ColdEmit::coflow_arrival(sink, sc.state.arrival,
                                  std::int64_t(sc.trace_id),
@@ -685,6 +1224,10 @@ Metrics run_simulation(const workload::Trace& trace,
         ++sstats.with_deadline;
         const core::AdmissionDecision d = admission.admit(
             sc.state, flows, live, cpu, config.codec, sc.state.arrival);
+        journal_event(recovery::JournalType::kAdmissionVerdict,
+                      sc.state.arrival, sc.trace_id,
+                      static_cast<std::uint64_t>(d.verdict),
+                      sc.state.deadline - sc.state.arrival);
         if (sink != nullptr) [[unlikely]] {
           static constexpr const char* kVerdictNames[] = {"admit", "degrade",
                                                           "defer", "reject"};
@@ -715,7 +1258,8 @@ Metrics run_simulation(const workload::Trace& trace,
             ++sstats.deferred;
             break;
         }
-        if (config.admission.shed_expired) expiry.emplace(sc.state.deadline, ci);
+        if (config.admission.shed_expired)
+          push_expiry(sc.state.deadline, ci);
       }
       active.push_back(ci);
       if (track) tracker.coflow_arrived(&sc.state);
@@ -731,24 +1275,27 @@ Metrics run_simulation(const workload::Trace& trace,
       continue;
     }
 
-    // Fold: settle the running segment before any decision that changes the
-    // constants it was snapshot under. The CPU promise expiring is a fold
-    // without a schedule round (rates stand, effective compression speed is
-    // re-read); both folds are boundary-exact and mode-independent. Expiry
-    // shedding must also fold first: zeroing a shed flow's pools under a
-    // live snapshot would be undone by the next materialize.
+    // Fold: settle the running segment before any decision that changes
+    // the constants it was snapshot under. The CPU promise expiring is a
+    // fold without a schedule round (rates stand, effective compression
+    // speed is re-read); both folds are boundary-exact and
+    // mode-independent. Expiry shedding must also fold first: zeroing a
+    // shed flow's pools under a live snapshot would be undone by the next
+    // materialize.
     const bool shed_due = admit_on && next_expiry() <= t + kTiny;
     const bool cpu_fold_due = seg_valid && seg_j > 0 && t >= seg_cpu_T;
     if (seg_valid && (need_schedule || cpu_fold_due || shed_due))
       materialize_segment();
 
     if (shed_due) {
-      // Shed every coflow whose deadline passed by this boundary (the event
-      // mode caps each segment at the next expiry, so both modes shed at the
-      // same first boundary at-or-past the deadline).
+      // Shed every coflow whose deadline passed by this boundary (the
+      // event mode caps each segment at the next expiry, so both modes
+      // shed at the same first boundary at-or-past the deadline).
       while (next_expiry() <= t + kTiny) {
-        const std::size_t ci = expiry.top().second;
-        expiry.pop();
+        const std::size_t ci = expiry.front().second;
+        std::pop_heap(expiry.begin(), expiry.end(),
+                      std::greater<ExpiryEntry>{});
+        expiry.pop_back();
         mark_rejected(coflows[ci], /*midflight=*/true, t);
         need_schedule = true;
         coflow_event = true;
@@ -814,6 +1361,12 @@ Metrics run_simulation(const workload::Trace& trace,
       ++round;
       if (sink != nullptr)
         sink->registry().counter("sim.schedule_rounds").add();
+      // Post-schedule fold point: the segment is settled (seg_valid just
+      // went false above) and nothing is pending, so re-entering the loop
+      // top from this state replays the rest of the iteration identically.
+      // Checkpointing anywhere else would add fold points the uncrashed
+      // run never had and break byte-identity.
+      if (ckpt_every_ > 0 && round % ckpt_every_ == 0) checkpoint(t);
     }
 
     if (!seg_valid) {
@@ -963,8 +1516,8 @@ Metrics run_simulation(const workload::Trace& trace,
 
     // Stall accounting, k slices at once: interior slices of a segment all
     // dispose the same seg_progress_step bytes, and a slice with a flow
-    // event always has progress (the completing flow's residual volume), so
-    // the per-slice verdicts are segment-constant.
+    // event always has progress (the completing flow's residual volume),
+    // so the per-slice verdicts are segment-constant.
     dstats.stalled_flow_slices += seg_stall_count * k;
     if (seg_progress_step <= kTiny && !active.empty()) {
       if (seg_stall_count > 0 && std::isfinite(next_capacity_change)) {
@@ -986,6 +1539,13 @@ Metrics run_simulation(const workload::Trace& trace,
     slices += k;
     maybe_sample(slice_time(seg_j));
   }
+
+  if (journal_on_ && !verify_.empty())
+    throw recovery::RecoveryError(
+        "recovery: journal holds " + std::to_string(verify_.size()) +
+        " record(s) the restored run never regenerated (next seq " +
+        std::to_string(verify_.front().seq) + ")");
+  journal_.close();
 
   if (sink != nullptr) {
     sink->registry().gauge("sim.slices").set(static_cast<double>(slices));
@@ -1058,6 +1618,19 @@ Metrics run_simulation(const workload::Trace& trace,
         .set(metrics.deadline_met_fraction());
   }
   return metrics;
+}
+
+}  // namespace
+
+Metrics run_simulation(const workload::Trace& trace,
+                       const fabric::Fabric& fabric,
+                       const cpu::CpuProvider& cpu, sched::Scheduler& sched,
+                       const SimConfig& config) {
+  if (config.slice <= 0) throw std::invalid_argument("sim: non-positive slice");
+  if (fabric.num_ports() < trace.num_ports)
+    throw std::invalid_argument("sim: fabric smaller than trace needs");
+  Engine engine(trace, fabric, cpu, sched, config);
+  return engine.run();
 }
 
 }  // namespace swallow::sim

@@ -19,6 +19,7 @@
 #include "cpu/cpu_model.hpp"
 #include "fabric/degradation.hpp"
 #include "fabric/fabric.hpp"
+#include "recovery/recovery.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
@@ -98,6 +99,15 @@ struct SimConfig {
   /// expired deadline coflows are shed at the first slice boundary past
   /// their deadline, which becomes a first-class preemption point.
   core::AdmissionConfig admission;
+  /// Crash-fault tolerance (DESIGN.md section 13). Disabled by default
+  /// (empty dir): the engine then touches no files and runs byte-identical
+  /// to pre-recovery builds. With a dir set, every discrete event is
+  /// appended to a write-ahead journal before it is applied, and every
+  /// `checkpoint_every` scheduling rounds the engine publishes a
+  /// checksummed snapshot at a post-schedule fold point — the restored
+  /// run's final Metrics records are byte-identical to the uninterrupted
+  /// run's (test_recovery + the CI crash-recovery cmp gate enforce this).
+  recovery::RecoveryOptions recovery;
   /// Observability sink (obs::Tracer or custom). When set, the engine
   /// emits arrival/completion/preemption/scheduling-round trace events and
   /// wall-clock profiles of the schedule/advance phases, and the scheduler

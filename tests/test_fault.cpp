@@ -6,11 +6,18 @@
 // ShuffleError — never hang, never silently corrupt.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include "codec/frame.hpp"
 #include "codec/null_codec.hpp"
+#include "recovery/state_io.hpp"
+#include "runtime/bus.hpp"
 #include "runtime/context.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/shuffle.hpp"
@@ -380,6 +387,266 @@ TEST(Cluster, KillWorkerNeverKillsLastSurvivor) {
   EXPECT_FALSE(cluster.worker_dead(1));
   EXPECT_EQ(cluster.effective_worker(0), 1u);
   EXPECT_EQ(cluster.effective_worker(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Master checkpoint/restore and fail-over (DESIGN.md section 13)
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "swallow-master-XXXXXX")
+            .string();
+    char* made = ::mkdtemp(tmpl.data());
+    if (made == nullptr) throw std::runtime_error("mkdtemp failed");
+    path = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+Master make_master(const ClusterConfig& config) {
+  return Master(config.nic_rate, config.codec_model, config.cpu_headroom,
+                config.smart_compress, config.sink,
+                config.retry.degrade_after);
+}
+
+CoflowInfo two_flow_coflow(RtFlowId first_flow) {
+  CoflowInfo info;
+  info.flows.push_back(FlowInfo{first_flow, 0, 0, 1, 64 * 1024, true});
+  info.flows.push_back(FlowInfo{first_flow + 1, 0, 1, 2, 32 * 1024, true});
+  return info;
+}
+
+TEST(MasterRecovery, StateRoundTripIsExact) {
+  const ClusterConfig config = fault_config();
+  Master original = make_master(config);
+  const CoflowRef ref = original.add(two_flow_coflow(100));
+  original.alloc(original.scheduling({ref}));
+  // Degrade flow 101 so the restored master must remember the ladder.
+  original.record_flow_failure(101);
+  original.record_flow_failure(101);
+  ASSERT_TRUE(original.decision_of(101).degraded);
+
+  recovery::StateWriter w;
+  original.save_state(w);
+  Master restored = make_master(config);
+  recovery::StateReader r(w.buffer());
+  restored.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(restored.active_coflows(), original.active_coflows());
+  EXPECT_EQ(restored.decision_count(), original.decision_count());
+  EXPECT_EQ(restored.rank_count(), original.rank_count());
+  EXPECT_EQ(restored.degraded_flows(), original.degraded_flows());
+  EXPECT_EQ(restored.rank_of(ref), original.rank_of(ref));
+  EXPECT_EQ(restored.flows_of(ref), original.flows_of(ref));
+  for (const RtFlowId flow : {RtFlowId{100}, RtFlowId{101}}) {
+    const FlowDecision a = original.decision_of(flow);
+    const FlowDecision b = restored.decision_of(flow);
+    EXPECT_EQ(a.compress, b.compress) << flow;
+    EXPECT_EQ(a.rate, b.rate) << flow;
+    EXPECT_EQ(a.degraded, b.degraded) << flow;
+  }
+  // The ref counter survived: both masters hand out the same next ref.
+  EXPECT_EQ(restored.add(two_flow_coflow(200)),
+            original.add(two_flow_coflow(200)));
+}
+
+TEST(MasterRecovery, RestoreStateRejectsMalformedBytes) {
+  const ClusterConfig config = fault_config();
+  Master original = make_master(config);
+  const CoflowRef ref = original.add(two_flow_coflow(100));
+  original.alloc(original.scheduling({ref}));
+  recovery::StateWriter w;
+  original.save_state(w);
+  const std::vector<std::uint8_t>& bytes = w.buffer();
+  for (std::size_t len = 0; len < bytes.size(); len += 5) {
+    const std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    Master victim = make_master(config);
+    recovery::StateReader r(cut);
+    EXPECT_THROW(victim.restore_state(r), recovery::RecoveryError)
+        << "truncated to " << len;
+  }
+}
+
+TEST(MasterRecovery, CheckpointIsFingerprintGuarded) {
+  const ClusterConfig config = fault_config();
+  TempDir dir;
+  Master original = make_master(config);
+  const CoflowRef ref = original.add(two_flow_coflow(100));
+  original.alloc(original.scheduling({ref}));
+  original.checkpoint(dir.str(), 1);
+
+  Master same = make_master(config);
+  EXPECT_TRUE(same.restore_from(dir.str()));
+  EXPECT_EQ(same.rank_of(ref), original.rank_of(ref));
+
+  // A master configured differently must not accept the snapshot.
+  ClusterConfig other = fault_config();
+  other.nic_rate = config.nic_rate * 2;
+  Master mismatched = make_master(other);
+  EXPECT_FALSE(mismatched.restore_from(dir.str()));
+  EXPECT_EQ(mismatched.active_coflows(), 0u);
+
+  TempDir empty;
+  Master cold = make_master(config);
+  EXPECT_FALSE(cold.restore_from(empty.str()));
+}
+
+/// Drives a manual push cycle, crashes the master (blank replacement),
+/// wipes every worker store (the crash takes receiver memory with it),
+/// fails over, and checks the retained in-flight blocks replay so pulls
+/// complete with the original payloads.
+void failover_round(bool with_snapshot) {
+  SCOPED_TRACE(with_snapshot ? "snapshot failover" : "cold failover");
+  ClusterConfig config = fault_config();
+  config.fault.enabled = true;  // rates stay 0: retention on, no faults
+  Cluster cluster(config);
+  SwallowContext ctx(cluster);
+
+  const std::vector<RtFlowId> blocks = {501, 502, 503, 504};
+  std::map<RtFlowId, codec::Buffer> payloads;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    codec::Buffer data(8 * 1024);
+    for (std::size_t k = 0; k < data.size(); ++k)
+      data[k] = static_cast<std::uint8_t>((k * (i + 3)) & 0xff);
+    payloads[blocks[i]] = std::move(data);
+    const auto src = static_cast<WorkerId>(i % cluster.size());
+    const auto dst = static_cast<WorkerId>((i + 1) % cluster.size());
+    cluster.worker(src).register_flow(
+        FlowInfo{blocks[i], 0, src, dst, payloads[blocks[i]].size(), true});
+  }
+  std::vector<FlowInfo> all_flows;
+  for (WorkerId w = 0; w < cluster.size(); ++w) {
+    auto flows = ctx.hook(w);
+    all_flows.insert(all_flows.end(), flows.begin(), flows.end());
+  }
+  const CoflowRef ref = ctx.add(ctx.aggregate(std::move(all_flows)));
+  ctx.alloc(ctx.scheduling({ref}));
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    ctx.push(ref, blocks[i], payloads[blocks[i]],
+             static_cast<WorkerId>(i % cluster.size()),
+             static_cast<WorkerId>((i + 1) % cluster.size()));
+
+  TempDir dir;
+  if (with_snapshot) cluster.master().checkpoint(dir.str(), 1);
+
+  // Crash: the replacement master knows nothing, and the receivers' block
+  // stores died with the process.
+  {
+    Master blank = make_master(config);
+    recovery::StateWriter w;
+    blank.save_state(w);
+    recovery::StateReader r(w.buffer());
+    cluster.master().restore_state(r);
+  }
+  for (WorkerId w = 0; w < cluster.size(); ++w)
+    cluster.worker(w).store().clear();
+  ASSERT_EQ(cluster.master().active_coflows(), 0u);
+
+  EXPECT_EQ(cluster.restore_master(dir.str()), with_snapshot);
+  ASSERT_TRUE(cluster.master().has_coflow(ref));
+  if (!with_snapshot) {
+    // Cold fail-over recovers registrations but not decisions; the driver
+    // re-runs the scheduling round exactly as after any arrival.
+    ctx.alloc(ctx.scheduling({ref}));
+  }
+  EXPECT_EQ(ctx.replay_in_flight(), blocks.size());
+  // Nothing missing: a second replay is a no-op.
+  EXPECT_EQ(ctx.replay_in_flight(), 0u);
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const codec::Buffer got = ctx.pull(
+        ref, blocks[i], static_cast<WorkerId>((i + 1) % cluster.size()));
+    EXPECT_EQ(got, payloads[blocks[i]]) << "block " << blocks[i];
+  }
+
+  // remove() prunes the logs: a later fail-over cannot resurrect the job.
+  ctx.remove(ref);
+  for (WorkerId w = 0; w < cluster.size(); ++w)
+    EXPECT_TRUE(cluster.worker(w).registration_log().empty()) << w;
+  EXPECT_EQ(cluster.retention().block_count(), 0u);
+}
+
+TEST(MasterRecovery, FailoverFromSnapshotReplaysInFlightBlocks) {
+  failover_round(/*with_snapshot=*/true);
+}
+
+TEST(MasterRecovery, ColdFailoverReregistersFromWorkerLogs) {
+  failover_round(/*with_snapshot=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Timed-wait hygiene: absolute deadlines, no drift, no early timeout
+// ---------------------------------------------------------------------------
+
+TEST(TimedWaits, TakeForDeadlineDoesNotDriftUnderWakeups) {
+  BlockStore store;
+  const BlockKey wanted{1, 1};
+  const BlockKey noise{2, 2};
+  // A nuisance thread pounds the store's condvar with unrelated puts: each
+  // wakeup must consume the remaining budget, not restart it. A drifting
+  // wait would stretch far past the 150 ms deadline.
+  std::atomic<bool> stop{false};
+  std::thread nuisance([&] {
+    while (!stop.load()) {
+      store.put(noise, codec::Buffer(16));
+      (void)store.take_for(noise, 0.001);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = store.take_for(wanted, 0.15);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop.store(true);
+  nuisance.join();
+  EXPECT_FALSE(result.has_value());
+  EXPECT_GE(elapsed, 0.15);
+  EXPECT_LT(elapsed, 1.0);  // drift bound, generous for loaded CI machines
+}
+
+TEST(TimedWaits, TakeForStillDeliversLateArrivals) {
+  BlockStore store;
+  const BlockKey key{3, 3};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    store.put(key, codec::Buffer(32, std::uint8_t{7}));
+  });
+  const auto result = store.take_for(key, 5.0);
+  producer.join();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 32u);
+}
+
+TEST(TimedWaits, ReceiveForTimesOutOnTimeAndDeliversInTime) {
+  Channel<int> chan;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(chan.receive_for(std::chrono::milliseconds(80)).has_value());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_LT(elapsed, 1.0);
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    chan.send(42);
+  });
+  const auto got = chan.receive_for(std::chrono::seconds(5));
+  producer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+
+  chan.close();
+  EXPECT_FALSE(chan.receive_for(std::chrono::seconds(5)).has_value());
 }
 
 }  // namespace

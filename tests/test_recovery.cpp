@@ -1,0 +1,568 @@
+// Crash-fault tolerance (DESIGN.md section 13): deterministic checkpoint/
+// restore, the write-ahead event journal and kill-anywhere recovery.
+//
+// The contract guarded here is byte-identity: kill a run at any journaled
+// event (or mid-snapshot, or with a torn journal tail), restore from the
+// surviving files, and the final Metrics records equal the uninterrupted
+// run's bit for bit — for every scheduler in the registry, both engine
+// modes, and with the degradation + deadline/admission layers on. The
+// loader fuzz tests additionally pin that corrupted snapshot/journal bytes
+// surface as typed RecoveryError (never UB — CI runs this under
+// ASan/UBSan/TSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec_model.hpp"
+#include "cpu/cpu_model.hpp"
+#include "recovery/journal.hpp"
+#include "recovery/recovery.hpp"
+#include "recovery/snapshot.hpp"
+#include "recovery/state_io.hpp"
+#include "sched/registry.hpp"
+#include "sim/experiment.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace swallow;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "swallow-recovery-XXXXXX")
+            .string();
+    char* made = ::mkdtemp(tmpl.data());
+    if (made == nullptr) throw std::runtime_error("mkdtemp failed");
+    path = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string journal() const { return (path / "journal.swj").string(); }
+};
+
+workload::Trace make_trace(std::uint64_t seed, std::size_t coflows,
+                           std::size_t ports, double deadline_fraction = 0) {
+  workload::GeneratorConfig gen;
+  gen.num_ports = ports;
+  gen.num_coflows = coflows;
+  gen.mean_interarrival = 0.3;
+  gen.size_lo = 1e5;
+  gen.size_hi = 2e8;
+  gen.size_alpha = 0.2;
+  gen.width_lo = 1;
+  gen.width_hi = 5;
+  gen.seed = seed;
+  gen.deadline_fraction = deadline_fraction;
+  gen.deadline_ref_bandwidth = common::mbps(150);
+  return workload::generate_trace(gen);
+}
+
+std::vector<std::string> all_scheduler_names() {
+  std::vector<std::string> names = sched::baseline_names();
+  for (const std::string& n : sched::core_scheduler_names())
+    names.push_back(n);
+  return names;
+}
+
+sim::Metrics run_once(const workload::Trace& trace,
+                      const fabric::Fabric& fabric,
+                      const cpu::CpuProvider& cpu, const std::string& name,
+                      const sim::SimConfig& config) {
+  auto sched = sim::make_scheduler(name);  // fresh: schedulers are stateful
+  return sim::run_simulation(trace, fabric, cpu, *sched, config);
+}
+
+std::optional<sim::Metrics> try_run(const workload::Trace& trace,
+                                    const fabric::Fabric& fabric,
+                                    const cpu::CpuProvider& cpu,
+                                    const std::string& name,
+                                    const sim::SimConfig& config) {
+  try {
+    return run_once(trace, fabric, cpu, name, config);
+  } catch (const recovery::CrashError&) {
+    return std::nullopt;
+  }
+}
+
+// Exact (bitwise-value) comparison of every emitted record.
+void expect_identical(const sim::Metrics& a, const sim::Metrics& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].completion, b.flows[i].completion) << "flow " << i;
+    EXPECT_EQ(a.flows[i].wire_bytes, b.flows[i].wire_bytes) << "flow " << i;
+  }
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    EXPECT_EQ(a.coflows[i].completion, b.coflows[i].completion)
+        << "coflow " << i;
+    EXPECT_EQ(a.coflows[i].wire_bytes, b.coflows[i].wire_bytes)
+        << "coflow " << i;
+    EXPECT_EQ(a.coflows[i].rejected, b.coflows[i].rejected) << "coflow " << i;
+  }
+  ASSERT_EQ(a.utilization.size(), b.utilization.size());
+  for (std::size_t i = 0; i < a.utilization.size(); ++i) {
+    EXPECT_EQ(a.utilization[i].t, b.utilization[i].t);
+    EXPECT_EQ(a.utilization[i].egress_utilization,
+              b.utilization[i].egress_utilization);
+  }
+  EXPECT_EQ(a.degradation.capacity_changes, b.degradation.capacity_changes);
+  EXPECT_EQ(a.degradation.link_failures, b.degradation.link_failures);
+  EXPECT_EQ(a.degradation.stalled_flow_slices,
+            b.degradation.stalled_flow_slices);
+  EXPECT_EQ(a.degradation.compression_flips,
+            b.degradation.compression_flips);
+  EXPECT_EQ(a.slo.with_deadline, b.slo.with_deadline);
+  EXPECT_EQ(a.slo.admitted, b.slo.admitted);
+  EXPECT_EQ(a.slo.degraded, b.slo.degraded);
+  EXPECT_EQ(a.slo.deferred, b.slo.deferred);
+  EXPECT_EQ(a.slo.rejected, b.slo.rejected);
+  EXPECT_EQ(a.slo.shed_midflight, b.slo.shed_midflight);
+  EXPECT_EQ(a.slo.shed_bytes, b.slo.shed_bytes);
+}
+
+/// Journaled-event count of an uninterrupted run (no checkpoints, so the
+/// count excludes kCheckpoint markers — kill points picked in [1, count]
+/// always land inside the checkpointed run's longer stream).
+std::uint64_t count_events(const workload::Trace& trace,
+                           const fabric::Fabric& fabric,
+                           const cpu::CpuProvider& cpu,
+                           const std::string& name, sim::SimConfig config) {
+  TempDir dir;
+  config.recovery = {};
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = 0;
+  run_once(trace, fabric, cpu, name, config);
+  return recovery::read_journal(dir.journal()).records.size();
+}
+
+/// Crashes a run at `plan`, restores from the surviving files, and returns
+/// the recovered run's Metrics. Asserts the crash actually fired.
+sim::Metrics kill_and_recover(const workload::Trace& trace,
+                              const fabric::Fabric& fabric,
+                              const cpu::CpuProvider& cpu,
+                              const std::string& name, sim::SimConfig config,
+                              const recovery::CrashPlan& plan,
+                              std::uint64_t checkpoint_every,
+                              const std::string& label) {
+  TempDir dir;
+  config.recovery = {};
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = checkpoint_every;
+  config.recovery.crash = &plan;
+  const auto crashed = try_run(trace, fabric, cpu, name, config);
+  EXPECT_FALSE(crashed.has_value()) << label << ": crash plan never fired";
+  config.recovery.crash = nullptr;
+  config.recovery.restore = true;
+  return run_once(trace, fabric, cpu, name, config);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-anywhere equivalence matrix
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryMatrix, KillAnywhereEverySchedulerBothModes) {
+  const workload::Trace trace = make_trace(31, 12, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  for (const std::string& name : all_scheduler_names()) {
+    for (const sim::EngineMode mode :
+         {sim::EngineMode::kEventDriven, sim::EngineMode::kSliceStepped}) {
+      sim::SimConfig config;
+      config.engine_mode = mode;
+      config.codec = &codec::default_codec_model();
+      const sim::Metrics clean = run_once(trace, fabric, cpu, name, config);
+      const std::uint64_t events =
+          count_events(trace, fabric, cpu, name, config);
+      ASSERT_GT(events, 0u);
+      for (const std::uint64_t kill :
+           {std::uint64_t{1}, events / 2 + 1, events}) {
+        recovery::CrashPlan plan;
+        plan.kill_at_event = kill;
+        const std::string label =
+            name + (mode == sim::EngineMode::kEventDriven ? "/event" : "/slice") +
+            "/kill=" + std::to_string(kill);
+        const sim::Metrics recovered = kill_and_recover(
+            trace, fabric, cpu, name, config, plan, 3, label);
+        expect_identical(recovered, clean, label);
+      }
+    }
+  }
+}
+
+TEST(RecoveryMatrix, KillAnywhereUnderDegradation) {
+  const workload::Trace trace = make_trace(47, 16, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  for (const std::string& name : {std::string("FVDF"),
+                                  std::string("DEADLINE-FVDF")}) {
+    for (const sim::EngineMode mode :
+         {sim::EngineMode::kEventDriven, sim::EngineMode::kSliceStepped}) {
+      sim::SimConfig config;
+      config.engine_mode = mode;
+      config.codec = &codec::default_codec_model();
+      config.utilization_sample_period = 0.5;
+      config.degradation.rate = 0.12;
+      config.degradation.seed = 9;
+      config.degradation.failure_fraction = 0.3;
+      const sim::Metrics clean = run_once(trace, fabric, cpu, name, config);
+      const std::uint64_t events =
+          count_events(trace, fabric, cpu, name, config);
+      ASSERT_GT(events, 4u);
+      for (std::uint64_t kill = 1; kill <= events;
+           kill += std::max<std::uint64_t>(1, events / 6)) {
+        recovery::CrashPlan plan;
+        plan.kill_at_event = kill;
+        const std::string label =
+            name + (mode == sim::EngineMode::kEventDriven ? "/event" : "/slice") +
+            "/degrade/kill=" + std::to_string(kill);
+        const sim::Metrics recovered = kill_and_recover(
+            trace, fabric, cpu, name, config, plan, 2, label);
+        expect_identical(recovered, clean, label);
+      }
+    }
+  }
+}
+
+TEST(RecoveryMatrix, KillAnywhereDeadlinesAdmissionShedding) {
+  const workload::Trace trace = make_trace(53, 18, 6, /*deadline=*/0.6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  for (const std::string& name : {std::string("FVDF"),
+                                  std::string("DEADLINE-FVDF")}) {
+    for (const sim::EngineMode mode :
+         {sim::EngineMode::kEventDriven, sim::EngineMode::kSliceStepped}) {
+      sim::SimConfig config;
+      config.engine_mode = mode;
+      config.codec = &codec::default_codec_model();
+      config.admission.enabled = true;
+      config.degradation.rate = 0.1;
+      config.degradation.seed = 5;
+      const sim::Metrics clean = run_once(trace, fabric, cpu, name, config);
+      // The SLO layer must actually be exercised for the sweep to mean
+      // anything.
+      ASSERT_GT(clean.slo.with_deadline, 0u);
+      const std::uint64_t events =
+          count_events(trace, fabric, cpu, name, config);
+      for (std::uint64_t kill = 1; kill <= events;
+           kill += std::max<std::uint64_t>(1, events / 6)) {
+        recovery::CrashPlan plan;
+        plan.kill_at_event = kill;
+        const std::string label =
+            name + (mode == sim::EngineMode::kEventDriven ? "/event" : "/slice") +
+            "/slo/kill=" + std::to_string(kill);
+        const sim::Metrics recovered = kill_and_recover(
+            trace, fabric, cpu, name, config, plan, 2, label);
+        expect_identical(recovered, clean, label);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash shapes beyond a clean event kill
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryCrash, MidSnapshotCrashFallsBackToPreviousSnapshot) {
+  const workload::Trace trace = make_trace(61, 14, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  const sim::Metrics clean = run_once(trace, fabric, cpu, "FVDF", config);
+  for (const std::uint64_t nth : {std::uint64_t{1}, std::uint64_t{2}}) {
+    recovery::CrashPlan plan;
+    plan.kill_mid_snapshot = nth;
+    const std::string label = "mid-snapshot #" + std::to_string(nth);
+    const sim::Metrics recovered =
+        kill_and_recover(trace, fabric, cpu, "FVDF", config, plan, 2, label);
+    expect_identical(recovered, clean, label);
+  }
+}
+
+TEST(RecoveryCrash, TornJournalTailIsTruncatedAndReplayed) {
+  const workload::Trace trace = make_trace(67, 14, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  const sim::Metrics clean = run_once(trace, fabric, cpu, "FVDF", config);
+  const std::uint64_t events =
+      count_events(trace, fabric, cpu, "FVDF", config);
+  // Tear a few bytes (partial final record) and more than the whole file
+  // (journal gone entirely — the snapshot alone must still recover).
+  for (const std::uint64_t torn : {std::uint64_t{7}, std::uint64_t{1} << 40}) {
+    recovery::CrashPlan plan;
+    plan.kill_at_event = events / 2 + 1;
+    plan.torn_tail_bytes = torn;
+    const std::string label = "torn=" + std::to_string(torn);
+    const sim::Metrics recovered =
+        kill_and_recover(trace, fabric, cpu, "FVDF", config, plan, 2, label);
+    expect_identical(recovered, clean, label);
+  }
+}
+
+TEST(RecoveryCrash, CrashBeforeFirstCheckpointColdStarts) {
+  const workload::Trace trace = make_trace(71, 12, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  const sim::Metrics clean = run_once(trace, fabric, cpu, "FVDF", config);
+  recovery::CrashPlan plan;
+  plan.kill_at_event = 3;
+  // checkpoint_every far beyond the run: no snapshot ever lands, restore
+  // must cold-start and verify the whole journal.
+  const sim::Metrics recovered = kill_and_recover(
+      trace, fabric, cpu, "FVDF", config, plan, 100000, "cold start");
+  expect_identical(recovered, clean, "cold start");
+}
+
+TEST(RecoveryCrash, RepeatedKillsAcrossRestores) {
+  const workload::Trace trace = make_trace(73, 16, 6, /*deadline=*/0.5);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  config.admission.enabled = true;
+  config.degradation.rate = 0.1;
+  config.degradation.seed = 3;
+  const sim::Metrics clean =
+      run_once(trace, fabric, cpu, "DEADLINE-FVDF", config);
+  const std::uint64_t events =
+      count_events(trace, fabric, cpu, "DEADLINE-FVDF", config);
+
+  TempDir dir;
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = 2;
+  recovery::CrashPlan first;
+  first.kill_at_event = events / 3 + 1;
+  config.recovery.crash = &first;
+  EXPECT_FALSE(
+      try_run(trace, fabric, cpu, "DEADLINE-FVDF", config).has_value());
+
+  // Second life crashes again — early enough that it dies while still
+  // verifying the journal suffix of its first life.
+  config.recovery.restore = true;
+  recovery::CrashPlan second;
+  second.kill_at_event = 2;
+  config.recovery.crash = &second;
+  EXPECT_FALSE(
+      try_run(trace, fabric, cpu, "DEADLINE-FVDF", config).has_value());
+
+  config.recovery.crash = nullptr;
+  const sim::Metrics recovered =
+      run_once(trace, fabric, cpu, "DEADLINE-FVDF", config);
+  expect_identical(recovered, clean, "third life");
+}
+
+TEST(RecoveryCrash, RestoreAfterCompletedRunReplaysCleanly) {
+  const workload::Trace trace = make_trace(79, 12, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  TempDir dir;
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = 3;
+  const sim::Metrics clean = run_once(trace, fabric, cpu, "FVDF", config);
+  config.recovery.restore = true;
+  const sim::Metrics replayed = run_once(trace, fabric, cpu, "FVDF", config);
+  expect_identical(replayed, clean, "replay of a completed run");
+}
+
+TEST(RecoveryCrash, PersistenceDoesNotPerturbTheSimulation) {
+  // Checkpointing + journaling on vs fully off: byte-identical Metrics.
+  const workload::Trace trace = make_trace(83, 14, 6, /*deadline=*/0.4);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  config.admission.enabled = true;
+  config.degradation.rate = 0.1;
+  config.degradation.seed = 11;
+  const sim::Metrics off = run_once(trace, fabric, cpu, "FVDF", config);
+  TempDir dir;
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = 2;
+  const sim::Metrics on = run_once(trace, fabric, cpu, "FVDF", config);
+  expect_identical(on, off, "persistence on vs off");
+  EXPECT_TRUE(std::filesystem::exists(dir.journal()));
+}
+
+// ---------------------------------------------------------------------------
+// Loader hardening: corrupted inputs are typed errors, never UB
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(RecoveryFuzz, SnapshotLoaderSurvivesTruncationAndBitFlips) {
+  TempDir dir;
+  recovery::StateWriter payload;
+  for (int i = 0; i < 400; ++i) payload.f64(i * 1.25);
+  recovery::SnapshotMeta meta;
+  meta.seq = 7;
+  meta.fingerprint = 0x1234abcd;
+  recovery::write_snapshot(dir.str(), meta, payload.buffer());
+  const std::string path = recovery::snapshot_path(dir.str(), 7);
+  const std::vector<std::uint8_t> valid = slurp(path);
+  ASSERT_GT(valid.size(), 32u);
+
+  // Sanity: the untouched file parses and checks its fingerprint.
+  const recovery::LoadedSnapshot back =
+      recovery::read_snapshot(path, meta.fingerprint);
+  EXPECT_EQ(back.meta.seq, 7u);
+  EXPECT_EQ(back.payload, payload.buffer());
+  EXPECT_THROW(recovery::read_snapshot(path, meta.fingerprint + 1),
+               recovery::RecoveryError);
+
+  // Every truncation length must fail as RecoveryError.
+  const std::string mangled = (dir.path / "mangled.swsnap").string();
+  for (std::size_t len = 0; len < valid.size(); len += 3) {
+    spit(mangled, {valid.begin(), valid.begin() + len});
+    EXPECT_THROW(recovery::read_snapshot(mangled), recovery::RecoveryError)
+        << "truncated to " << len;
+  }
+
+  // Bit flips either fail typed or (if they miss every checksummed bit in
+  // a colliding way) parse — anything else, including UB under the
+  // sanitizers, is a failure.
+  for (std::size_t off = 0; off < valid.size(); off += 5) {
+    std::vector<std::uint8_t> flipped = valid;
+    flipped[off] ^= std::uint8_t(1u << (off % 8));
+    spit(mangled, flipped);
+    try {
+      (void)recovery::read_snapshot(mangled, meta.fingerprint);
+    } catch (const recovery::RecoveryError&) {
+      // expected shape
+    }
+  }
+
+  // Version skew: patch the u32 version field (after magic + u64 seq) and
+  // expect a typed failure with a meaningful offset.
+  std::vector<std::uint8_t> skewed = valid;
+  skewed[12] = std::uint8_t(recovery::kSnapshotVersion + 1);
+  spit(mangled, skewed);
+  try {
+    (void)recovery::read_snapshot(mangled);
+    FAIL() << "version skew accepted";
+  } catch (const recovery::RecoveryError& e) {
+    EXPECT_NE(e.offset(), recovery::RecoveryError::npos);
+  }
+}
+
+TEST(RecoveryFuzz, JournalLoaderSurvivesTruncationAndBitFlips) {
+  TempDir dir;
+  {
+    recovery::JournalWriter w;
+    w.open(dir.journal());
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      recovery::JournalRecord rec;
+      rec.seq = i;
+      rec.type = recovery::JournalType::kArrival;
+      rec.time = 0.25 * double(i);
+      rec.a = i;
+      rec.b = i * 3;
+      rec.x = 1.0 / double(i + 1);
+      w.append(rec);
+    }
+  }
+  const std::vector<std::uint8_t> valid = slurp(dir.journal());
+  const recovery::JournalScan full = recovery::read_journal(dir.journal());
+  ASSERT_EQ(full.records.size(), 50u);
+  EXPECT_FALSE(full.torn);
+  EXPECT_EQ(full.valid_bytes, valid.size());
+
+  // A truncated journal is the normal crash signature: it must always scan
+  // cleanly to a prefix (possibly torn), never throw, never over-read.
+  const std::string mangled = (dir.path / "mangled.swj").string();
+  for (std::size_t len = 0; len < valid.size(); len += 3) {
+    spit(mangled, {valid.begin(), valid.begin() + len});
+    const recovery::JournalScan scan = recovery::read_journal(mangled);
+    EXPECT_LE(scan.valid_bytes, len);
+    EXPECT_LE(scan.records.size(), 50u);
+    for (std::size_t i = 0; i < scan.records.size(); ++i)
+      EXPECT_EQ(scan.records[i].seq, i);
+    recovery::truncate_torn_tail(mangled, scan);
+    EXPECT_EQ(std::filesystem::file_size(mangled), scan.valid_bytes);
+  }
+
+  // Bit flips: a flipped tail reads as torn; a flipped middle is real
+  // damage and must throw typed. Either way: no UB, no other exception.
+  for (std::size_t off = 0; off < valid.size(); off += 7) {
+    std::vector<std::uint8_t> flipped = valid;
+    flipped[off] ^= std::uint8_t(1u << (off % 8));
+    spit(mangled, flipped);
+    try {
+      const recovery::JournalScan scan = recovery::read_journal(mangled);
+      EXPECT_LE(scan.records.size(), 50u);
+    } catch (const recovery::RecoveryError&) {
+      // expected shape for mid-file damage
+    }
+  }
+}
+
+TEST(RecoveryFuzz, StateReaderRejectsImplausibleCounts) {
+  recovery::StateWriter w;
+  w.u64(~std::uint64_t{0});  // count far beyond the remaining bytes
+  const std::vector<std::uint8_t> bytes = w.buffer();
+  recovery::StateReader r(bytes);
+  try {
+    (void)r.count("fuzz");
+    FAIL() << "implausible count accepted";
+  } catch (const recovery::RecoveryError& e) {
+    EXPECT_NE(e.offset(), recovery::RecoveryError::npos);
+  }
+}
+
+TEST(RecoveryGuard, SchedulerMismatchIsATypedError) {
+  const workload::Trace trace = make_trace(89, 10, 6);
+  const fabric::Fabric fabric(trace.num_ports, common::mbps(150));
+  const cpu::ConstantCpu cpu(0.85);
+  sim::SimConfig config;
+  config.codec = &codec::default_codec_model();
+  TempDir dir;
+  config.recovery.dir = dir.str();
+  config.recovery.checkpoint_every = 2;
+  recovery::CrashPlan plan;
+  plan.kill_at_event = count_events(trace, fabric, cpu, "FVDF", config) - 1;
+  config.recovery.crash = &plan;
+  EXPECT_FALSE(try_run(trace, fabric, cpu, "FVDF", config).has_value());
+  // Restoring under a different scheduler: the fingerprint rejects every
+  // snapshot (cold start), and the journal cross-check catches the first
+  // divergent regenerated event instead of silently producing a different
+  // schedule.
+  config.recovery.crash = nullptr;
+  config.recovery.restore = true;
+  EXPECT_THROW(run_once(trace, fabric, cpu, "FIFO", config),
+               recovery::RecoveryError);
+}
+
+}  // namespace

@@ -145,10 +145,21 @@ def main():
         return 2
 
     failures = []
+    missing = []
     checked = 0
     for key, base in sorted(baseline.items()):
         sense = direction(key[1])
-        if sense is None or key not in current:
+        if sense is None:
+            continue
+        if key not in current:
+            # A gated metric the candidate never reported is a regression in
+            # its own right (a silently dropped bench or renamed gauge would
+            # otherwise pass the gate by absence).
+            print(
+                f"  MISSING  {key[0]}  {key[1]}: baseline={base:.4g} "
+                f"but the candidate run did not report this metric"
+            )
+            missing.append(key)
             continue
         cur = current[key]
         checked += 1
@@ -170,13 +181,23 @@ def main():
         if not ok:
             failures.append(key)
 
+    # New gated metrics without a baseline are fine (the next baseline
+    # refresh picks them up) but worth surfacing so the refresh happens.
+    for key in sorted(current):
+        if direction(key[1]) is not None and key not in baseline:
+            print(
+                f"warning: {key[0]}  {key[1]}: candidate metric has no "
+                f"baseline (refresh the baseline JSON to gate it)"
+            )
+
     print(
         f"\n{checked} timing metric(s) checked against "
-        f"{', '.join(args.baseline)}; {len(failures)} regression(s)"
+        f"{', '.join(args.baseline)}; {len(failures)} regression(s), "
+        f"{len(missing)} missing from candidate"
     )
     if checked == 0:
         print("warning: baseline and current share no timing metrics")
-    return 1 if failures else 0
+    return 1 if failures or missing else 0
 
 
 if __name__ == "__main__":
