@@ -1,11 +1,29 @@
-// Microbenchmarks (google-benchmark) for the swlz codec family: compression
-// and decompression throughput per preset and payload type. Complements
-// bench_table2_codec_params' paper-style table with statistically stable
-// per-op numbers.
+// Microbenchmarks for the swlz codec family: compression and decompression
+// throughput per preset and payload type (google-benchmark), plus the
+// chunk-parallel battery — serial vs 1/2/4-thread chunk_compress over the
+// same corpus, asserting at runtime that every parallel frame is
+// byte-identical to the serial one (exit 1 on mismatch: determinism is the
+// SWF2 contract, not a statistical property). With SWALLOW_BENCH_JSON set
+// the battery appends `chunk.<codec>.*_mbps` / `.p4.speedup` gauges for the
+// CI regression gate (BENCH_codec.json).
+//
+// `--chunk-only` skips the google-benchmark suite; CI perf-smoke uses it to
+// run just the battery.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codec/chunk.hpp"
 #include "codec/codec.hpp"
 #include "codec/synth_data.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -78,6 +96,134 @@ void register_args(benchmark::internal::Benchmark* bench) {
 BENCHMARK(BM_Compress)->Apply(register_args)->MinTime(0.1);
 BENCHMARK(BM_Decompress)->Apply(register_args)->MinTime(0.1);
 
+// ---- chunk-parallel battery ----
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall-clock of one chunk_compress call, MB/s of raw input.
+/// `out` receives the last frame produced (identical across reps).
+double measure_encode_mbps(const codec::Codec& codec,
+                           const codec::Buffer& payload,
+                           codec::ChunkPool* pool, codec::Buffer& out,
+                           int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    out = codec::chunk_compress(codec, payload, codec::kDefaultChunkBytes,
+                                pool);
+    best = std::min(best, now_seconds() - t0);
+  }
+  return static_cast<double>(payload.size()) / 1e6 / best;
+}
+
+double measure_decode_mbps(const codec::Buffer& frame,
+                           const codec::Buffer& payload,
+                           codec::ChunkPool* pool, bool& identical,
+                           int reps = 3) {
+  double best = 1e300;
+  codec::Buffer out;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    out = codec::chunk_decompress(frame, pool);
+    best = std::min(best, now_seconds() - t0);
+  }
+  identical = out == payload;
+  return static_cast<double>(payload.size()) / 1e6 / best;
+}
+
+/// Serial vs 1/2/4-thread chunk encode/decode over a mixed corpus; records
+/// gauges and returns false on any byte-identity violation.
+bool run_chunk_battery(obs::Registry& registry) {
+  common::Rng rng(7);
+  const codec::Buffer payload = codec::mixed_bytes(4 << 20, rng, 0.3);
+  const unsigned thread_counts[] = {1, 2, 4};
+  bool ok = true;
+  std::printf(
+      "\nchunk-parallel battery: %zu MiB mixed corpus, %zu KiB chunks\n"
+      "%-14s %12s %12s %12s %12s %10s %12s\n",
+      payload.size() >> 20, codec::kDefaultChunkBytes >> 10, "codec",
+      "serial MB/s", "p1 MB/s", "p2 MB/s", "p4 MB/s", "p4 spdup",
+      "dec p4 MB/s");
+  for (const auto kind :
+       {codec::CodecKind::kHuffman, codec::CodecKind::kLzFast,
+        codec::CodecKind::kLzBalanced}) {
+    const auto codec = codec::make_codec(kind);
+    const std::string name = codec::codec_kind_name(kind);
+    codec::Buffer serial_frame;
+    const double serial =
+        measure_encode_mbps(*codec, payload, nullptr, serial_frame);
+    registry.gauge("chunk." + name + ".serial_mbps").set(serial);
+    double p4 = serial;
+    for (const unsigned threads : thread_counts) {
+      codec::ChunkPool pool(threads);
+      codec::Buffer frame;
+      const double mbps = measure_encode_mbps(*codec, payload, &pool, frame);
+      if (frame != serial_frame) {
+        std::fprintf(stderr,
+                     "FAIL: %s %u-thread chunk frame differs from serial "
+                     "(determinism contract broken)\n",
+                     name.c_str(), threads);
+        ok = false;
+      }
+      registry.gauge("chunk." + name + ".p" + std::to_string(threads) +
+                     "_mbps")
+          .set(mbps);
+      if (threads == 4) p4 = mbps;
+    }
+    registry.gauge("chunk." + name + ".p4.speedup").set(p4 / serial);
+    codec::ChunkPool dec_pool(4);
+    bool dec_identical = false;
+    const double dec =
+        measure_decode_mbps(serial_frame, payload, &dec_pool, dec_identical);
+    if (!dec_identical) {
+      std::fprintf(stderr, "FAIL: %s 4-thread chunk decode != payload\n",
+                   name.c_str());
+      ok = false;
+    }
+    registry.gauge("chunk." + name + ".decode_p4_mbps").set(dec);
+    const auto& g = registry.gauge("chunk." + name + ".p4.speedup");
+    std::printf("%-14s %12.1f %12.1f %12.1f %12.1f %9.2fx %12.1f\n",
+                name.c_str(), serial,
+                registry.gauge("chunk." + name + ".p1_mbps").value(),
+                registry.gauge("chunk." + name + ".p2_mbps").value(), p4,
+                g.value(), dec);
+  }
+  std::printf("(speedup scales with physical cores; chunks are independent, "
+              "so p4 approaches 4x on >=4-core hosts)\n\n");
+  return ok;
+}
+
+void emit_chunk_json(const obs::Registry& registry) {
+  const char* path = std::getenv("SWALLOW_BENCH_JSON");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "{\"bench\":" << obs::json_quote("bench_codec_micro")
+      << ",\"metrics\":" << registry.to_json() << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool chunk_only = false;
+  int n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chunk-only") == 0)
+      chunk_only = true;
+    else
+      argv[n++] = argv[i];
+  }
+  argc = n;
+  obs::Registry registry;
+  const bool ok = run_chunk_battery(registry);
+  emit_chunk_json(registry);
+  if (!ok) return 1;
+  if (chunk_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

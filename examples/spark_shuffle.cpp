@@ -32,6 +32,14 @@ int main(int argc, char** argv) {
   config.smart_compress = flags.get_bool("smartCompress", true);
   config.codec_model = codec::CodecModel{"swlz", 500.0 * common::kMB,
                                          1500.0 * common::kMB, 0.45};
+  // Chunked codec data plane (DESIGN.md §14): --chunk-bytes sets the SWF2
+  // chunk size blocks are split at (0 = legacy serial SWF1 frames);
+  // --codec-threads sizes the worker pool every transfer's encode/decode
+  // jobs share (0 = auto: min(4, hardware threads)).
+  config.chunk_bytes = static_cast<std::size_t>(flags.get_int(
+      "chunk-bytes", static_cast<long>(codec::kDefaultChunkBytes)));
+  config.codec_threads =
+      static_cast<unsigned>(flags.get_int("codec-threads", 0));
   config.sink = tracer.get();
   // --fault-rate injects drops/corruptions/stalls/codec failures on every
   // block with that probability; --fault-seed picks the (deterministic)

@@ -26,6 +26,9 @@
 //       --crash-at-event=100   (crash-injection harness: exits with code
 //       42 at the Nth journaled event — also --crash-mid-snapshot=N and
 //       --torn-tail=BYTES; the CI crash-recovery gate drives these)
+//   ./trace_replay --codec-threads=4 --chunk-bytes=262144   (calibrate the
+//       codec model against the real chunk-parallel data plane at this
+//       thread count and chunk size before replaying; see DESIGN.md §14)
 //
 // Scheduler names: sched::known_scheduler_list() — e.g. FVDF, FVDF-NC,
 // DEADLINE-FVDF, SEBF, AALO, FIFO, PER-FLOW-FAIR. Unknown names raise an
@@ -33,6 +36,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "codec/chunk.hpp"
+#include "codec/synth_data.hpp"
+#include "codec/throughput.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "cpu/cpu_model.hpp"
@@ -83,8 +89,36 @@ int main(int argc, char** argv) {
   sim::SimConfig config;
   config.slice = flags.get_double("slice_ms", 10.0) / 1000.0;
   if (flags.has("csv")) config.utilization_sample_period = 1.0;
-  const codec::CodecModel codec =
+  codec::CodecModel codec =
       codec::codec_model_by_name(flags.get("codec", "LZ4"));
+  // --chunk-bytes / --codec-threads: calibrate the (R, xi) model against
+  // the real chunk-parallel data plane (DESIGN.md section 14) instead of
+  // the paper's table numbers — a 4 MiB mixed corpus round-trips through
+  // swlz-balanced chunked at --chunk-bytes on a --codec-threads pool, and
+  // the measured per-chunk throughput replaces the model's speeds. Absent
+  // both flags, output is byte-identical to previous releases.
+  if (flags.has("chunk-bytes") || flags.has("codec-threads")) {
+    const auto chunk_bytes = static_cast<std::size_t>(flags.get_int(
+        "chunk-bytes", static_cast<long>(codec::kDefaultChunkBytes)));
+    const auto threads =
+        static_cast<unsigned>(flags.get_int("codec-threads", 0));
+    codec::ChunkPool pool(threads);
+    codec::ThroughputLedger ledger;
+    common::Rng rng(99);
+    const codec::Buffer corpus = codec::mixed_bytes(4 << 20, rng, 0.3);
+    const auto real = codec::make_codec(codec::CodecKind::kLzBalanced);
+    const codec::Buffer frame =
+        codec::chunk_compress(*real, corpus, chunk_bytes, &pool, &ledger);
+    codec::chunk_decompress(frame, &pool, &ledger);
+    codec = ledger.calibrate(codec);
+    std::cout << "calibrated codec model: " << codec.name << " R="
+              << common::fmt_double(codec.compress_speed / 1e6, 1)
+              << " MB/s, decode "
+              << common::fmt_double(codec.decompress_speed / 1e6, 1)
+              << " MB/s, ratio " << common::fmt_double(codec.ratio, 3)
+              << " (" << pool.size() << " codec threads, "
+              << chunk_bytes / 1024 << " KiB chunks)\n";
+  }
   config.codec = &codec;
   config.degradation.rate = flags.get_double("degrade-rate", 0.0);
   config.degradation.seed =

@@ -45,13 +45,20 @@ Buffer frame_compress(const Codec& codec,
   const std::size_t num_blocks =
       payload.empty() ? 0 : (payload.size() + block_size - 1) / block_size;
 
-  // Compress blocks (possibly concurrently) into per-block containers.
-  std::vector<Buffer> blocks(num_blocks);
+  // Compress blocks (possibly concurrently) into fixed worst-case slots of
+  // one shared scratch buffer — one allocation for the whole frame instead
+  // of a Buffer per block, and the span compress API skips the allocating
+  // wrapper's intermediate copy.
+  const std::size_t slot = codec.max_compressed_size(block_size);
+  Buffer scratch(num_blocks * slot);
+  std::vector<std::size_t> sizes(num_blocks);
   auto compress_range = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
       const std::size_t off = b * block_size;
       const std::size_t len = std::min(block_size, payload.size() - off);
-      blocks[b] = codec.compress(payload.subspan(off, len));
+      sizes[b] = codec.compress(
+          payload.subspan(off, len),
+          std::span<std::uint8_t>(scratch.data() + b * slot, slot));
     }
   };
   const unsigned threads =
@@ -72,7 +79,7 @@ Buffer frame_compress(const Codec& codec,
   std::size_t total = sizeof(kMagic) + 1 + varint_size(payload.size()) +
                       varint_size(block_size);
   for (std::size_t b = 0; b < num_blocks; ++b)
-    total += varint_size(blocks[b].size()) + 8 + blocks[b].size();
+    total += varint_size(sizes[b]) + 8 + sizes[b];
 
   Buffer out(total);
   std::size_t pos = 0;
@@ -84,12 +91,12 @@ Buffer frame_compress(const Codec& codec,
   for (std::size_t b = 0; b < num_blocks; ++b) {
     const std::size_t off = b * block_size;
     const std::size_t len = std::min(block_size, payload.size() - off);
-    pos += write_varint(blocks[b].size(), out, pos);
+    pos += write_varint(sizes[b], out, pos);
     write_u64le(fnv1a64(payload.subspan(off, len)), out, pos);
     pos += 8;
-    std::copy(blocks[b].begin(), blocks[b].end(),
-              out.begin() + static_cast<std::ptrdiff_t>(pos));
-    pos += blocks[b].size();
+    std::copy_n(scratch.data() + b * slot, sizes[b],
+                out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += sizes[b];
   }
   out.resize(pos);
   return out;
@@ -106,14 +113,17 @@ bool is_frame(std::span<const std::uint8_t> data) {
          std::equal(std::begin(kMagic), std::end(kMagic), data.begin());
 }
 
-Buffer frame_decompress(std::span<const std::uint8_t> frame,
-                        unsigned num_threads) {
+std::size_t frame_decompress_into(std::span<const std::uint8_t> frame,
+                                  std::span<std::uint8_t> out,
+                                  unsigned num_threads) {
   if (!is_frame(frame)) throw CodecError("frame: bad magic");
   std::size_t pos = sizeof(kMagic);
   const std::uint8_t codec_id = frame[pos++];
   const auto raw_size = static_cast<std::size_t>(read_varint(frame, pos));
   const auto block_size = static_cast<std::size_t>(read_varint(frame, pos));
   if (block_size == 0) throw CodecError("frame: zero block size in header");
+  if (out.size() < raw_size)
+    throw CodecError("frame: output buffer too small");
 
   std::unique_ptr<Codec> codec;
   for (const CodecKind kind : all_codec_kinds()) {
@@ -151,7 +161,6 @@ Buffer frame_decompress(std::span<const std::uint8_t> frame,
   }
   if (pos != frame.size()) throw CodecError("frame: trailing garbage");
 
-  Buffer out(raw_size);
   auto decode_range = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
       const BlockRef& ref = refs[b];
@@ -190,6 +199,13 @@ Buffer frame_decompress(std::span<const std::uint8_t> frame,
     for (const auto& error : errors)
       if (error) std::rethrow_exception(error);
   }
+  return raw_size;
+}
+
+Buffer frame_decompress(std::span<const std::uint8_t> frame,
+                        unsigned num_threads) {
+  Buffer out(frame_decompressed_size(frame));
+  frame_decompress_into(frame, out, num_threads);
   return out;
 }
 

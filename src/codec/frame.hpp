@@ -37,6 +37,13 @@ Buffer frame_compress(const Codec& codec, std::span<const std::uint8_t> payload,
 Buffer frame_decompress(std::span<const std::uint8_t> frame,
                         unsigned num_threads = 1);
 
+/// Zero-copy variant of frame_decompress: decodes into caller-owned storage
+/// (>= the frame's recorded raw size — see frame_decompressed_size) instead
+/// of allocating. Returns the payload size.
+std::size_t frame_decompress_into(std::span<const std::uint8_t> frame,
+                                  std::span<std::uint8_t> out,
+                                  unsigned num_threads = 1);
+
 /// Raw size recorded in a frame header (validates the magic).
 std::size_t frame_decompressed_size(std::span<const std::uint8_t> frame);
 

@@ -1,6 +1,7 @@
 #include "codec/lz_codec.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
@@ -66,9 +67,28 @@ std::size_t emit_sequence(std::span<std::uint8_t> out, std::size_t op,
   return op;
 }
 
+// Word-at-a-time match extension: compare 8 bytes per step and locate the
+// first differing byte with a count-zero-bits on the XOR. Same result as the
+// byte loop (the tail guard keeps reads in-bounds only up to `limit`, so the
+// word path stops 8 bytes early and the byte loop finishes).
 std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
                          const std::uint8_t* limit) {
   const std::uint8_t* start = b;
+  while (b + 8 <= limit) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff != 0) {
+      const int bits = std::endian::native == std::endian::little
+                           ? std::countr_zero(diff)
+                           : std::countl_zero(diff);
+      return static_cast<std::size_t>(b - start) +
+             static_cast<std::size_t>(bits >> 3);
+    }
+    a += 8;
+    b += 8;
+  }
   while (b < limit && *a == *b) {
     ++a;
     ++b;
@@ -125,7 +145,11 @@ std::size_t LzCodec::encode_hash(std::span<const std::uint8_t> in,
   const std::uint8_t* base = in.data();
   const std::size_t n = in.size();
   const std::size_t match_limit = n - kTailGuard;
-  std::vector<std::uint32_t> table(std::size_t{1} << hash_bits, 0);
+  // Per-thread scratch: assign() re-zeroes without reallocating when block
+  // after block hits the same preset (the chunk pool's workers each keep
+  // their own copy).
+  thread_local std::vector<std::uint32_t> table;
+  table.assign(std::size_t{1} << hash_bits, 0);
 
   std::size_t op = 0;
   std::size_t anchor = 0;  // start of the pending literal run
@@ -174,8 +198,10 @@ std::size_t LzCodec::encode_chain(std::span<const std::uint8_t> in,
   const std::size_t n = in.size();
   const std::size_t match_limit = n - kTailGuard;
 
-  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, 0);
-  std::vector<std::uint32_t> prev(n, 0);  // prev[pos] = earlier pos + 1
+  thread_local std::vector<std::uint32_t> head;
+  thread_local std::vector<std::uint32_t> prev;
+  head.assign(std::size_t{1} << kHashBits, 0);
+  prev.assign(n, 0);  // prev[pos] = earlier pos + 1
 
   auto insert = [&](std::size_t pos) {
     const std::uint32_t h = hash32(read32(base + pos), kHashBits);
@@ -189,11 +215,14 @@ std::size_t LzCodec::encode_chain(std::span<const std::uint8_t> in,
 
   while (ip < match_limit) {
     const std::uint32_t h = hash32(read32(base + ip), kHashBits);
+    // Hoisted window bound: one subtraction here replaces a subtract+compare
+    // against ip at every chain hop.
+    const std::size_t window_lo = ip > kMaxOffset ? ip - kMaxOffset : 0;
     std::size_t best_len = 0, best_pos = 0;
     std::uint32_t cand = head[h];
     for (std::size_t depth = 0; cand != 0 && depth < kChainDepth; ++depth) {
       const std::size_t pos = cand - 1;
-      if (ip - pos > kMaxOffset) break;  // chain is ordered by recency
+      if (pos < window_lo) break;  // chain is ordered by recency
       if (base[pos + best_len] == base[ip + best_len]) {
         const std::size_t len =
             match_length(base + pos, base + ip, base + match_limit);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace swallow::codec {
 
 namespace {
@@ -37,6 +39,69 @@ ThroughputResult measure_codec(const Codec& codec,
   }
   return {best_compress, best_decompress,
           compression_ratio(payload.size(), compressed_size)};
+}
+
+namespace {
+double atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  return cur + v;
+}
+
+double safe_mbps(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0 || bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+}  // namespace
+
+void ThroughputLedger::record_encode(std::size_t raw_bytes,
+                                     std::size_t wire_bytes, double seconds) {
+  enc_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  enc_wire_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  enc_chunks_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(enc_seconds_, seconds);
+  if (obs::Sink* sink = sink_.load(std::memory_order_acquire))
+    sink->registry().gauge("codec.encode_mbps").set(encode_mbps());
+}
+
+void ThroughputLedger::record_decode(std::size_t raw_bytes, double seconds) {
+  dec_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  dec_chunks_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(dec_seconds_, seconds);
+}
+
+double ThroughputLedger::encode_mbps() const {
+  return safe_mbps(enc_raw_.load(std::memory_order_relaxed),
+                   enc_seconds_.load(std::memory_order_relaxed));
+}
+
+double ThroughputLedger::decode_mbps() const {
+  return safe_mbps(dec_raw_.load(std::memory_order_relaxed),
+                   dec_seconds_.load(std::memory_order_relaxed));
+}
+
+double ThroughputLedger::ratio() const {
+  const std::uint64_t raw = enc_raw_.load(std::memory_order_relaxed);
+  if (raw == 0) return 1.0;
+  return static_cast<double>(enc_wire_.load(std::memory_order_relaxed)) /
+         static_cast<double>(raw);
+}
+
+CodecModel ThroughputLedger::calibrate(const CodecModel& base) const {
+  CodecModel m = base;
+  m.name = base.name + ".measured";
+  const std::uint64_t enc_raw = enc_raw_.load(std::memory_order_relaxed);
+  const double enc_s = enc_seconds_.load(std::memory_order_relaxed);
+  if (enc_raw > 0 && enc_s > 0.0) {
+    m.compress_speed = static_cast<double>(enc_raw) / enc_s;
+    m.ratio = ratio();
+  }
+  const std::uint64_t dec_raw = dec_raw_.load(std::memory_order_relaxed);
+  const double dec_s = dec_seconds_.load(std::memory_order_relaxed);
+  if (dec_raw > 0 && dec_s > 0.0)
+    m.decompress_speed = static_cast<double>(dec_raw) / dec_s;
+  return m;
 }
 
 }  // namespace swallow::codec

@@ -1,8 +1,19 @@
 // Wall-clock measurement of a codec's speed and ratio on a payload; backs
-// the Table II reproduction for our from-scratch codecs.
+// the Table II reproduction for our from-scratch codecs. ThroughputLedger
+// is the live counterpart: the chunked data plane (chunk.hpp) feeds it one
+// sample per chunk, and calibrate() folds the samples into a CodecModel so
+// the simulator's speed/ratio assumptions track what the machine actually
+// does.
 #pragma once
 
+#include <atomic>
+
 #include "codec/codec.hpp"
+#include "codec/codec_model.hpp"
+
+namespace swallow::obs {
+class Sink;
+}
 
 namespace swallow::codec {
 
@@ -18,5 +29,46 @@ struct ThroughputResult {
 ThroughputResult measure_codec(const Codec& codec,
                                std::span<const std::uint8_t> payload,
                                int repeats = 3);
+
+/// Thread-safe accumulator of measured per-chunk codec throughput. Encode
+/// and decode workers record each chunk as it finishes (lock-free atomics:
+/// safe from any pool thread); readers see cumulative MB/s and ratio. With
+/// a sink attached, each encode sample refreshes the `codec.encode_mbps`
+/// gauge.
+class ThroughputLedger {
+ public:
+  void set_sink(obs::Sink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+
+  void record_encode(std::size_t raw_bytes, std::size_t wire_bytes,
+                     double seconds);
+  void record_decode(std::size_t raw_bytes, double seconds);
+
+  /// Cumulative MB/s of raw bytes through encode (0 with no samples).
+  double encode_mbps() const;
+  /// Cumulative MB/s of raw bytes out of decode (0 with no samples).
+  double decode_mbps() const;
+  /// Cumulative wire/raw ratio (1.0 with no samples).
+  double ratio() const;
+  std::uint64_t chunks_encoded() const {
+    return enc_chunks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunks_decoded() const {
+    return dec_chunks_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds the measured samples into a CodecModel for the simulator:
+  /// measured compress/decompress speeds and ratio where samples exist,
+  /// `base`'s numbers where they do not. The returned model is named
+  /// "<base>.measured" so reports show which runs used live calibration.
+  CodecModel calibrate(const CodecModel& base) const;
+
+ private:
+  std::atomic<std::uint64_t> enc_raw_{0}, enc_wire_{0}, enc_chunks_{0};
+  std::atomic<std::uint64_t> dec_raw_{0}, dec_chunks_{0};
+  std::atomic<double> enc_seconds_{0.0}, dec_seconds_{0.0};
+  std::atomic<obs::Sink*> sink_{nullptr};
+};
 
 }  // namespace swallow::codec

@@ -48,7 +48,87 @@ AdmissionDecision AdmissionController::admit(
   }
 
   const common::Seconds slack = coflow.deadline - now;
+  const Bounds b = price(coflow, all_flows, live, cpu, codec, now);
 
+  d.t_uncompressed = b.t_cur;
+  d.t_compressed = b.t_comp;
+  d.t_nominal = b.t_nom;
+
+  // Ladder rung 1: hopeless even on a healthy fabric with the coflow alone.
+  if (b.t_nom > config_.reject_margin * slack) {
+    d.verdict = AdmissionVerdict::kReject;
+    d.reason = "hopeless";
+    return d;
+  }
+
+  // Ladder rung 2: infeasible on the fabric as it stands (degradation may
+  // lift later) — keep it, unpromised, served by leftovers.
+  const common::Seconds t_best = std::min(b.t_cur, b.t_comp);
+  if (t_best > slack) {
+    d.verdict = AdmissionVerdict::kDefer;
+    d.reason = "infeasible_now";
+    return d;
+  }
+
+  // Ladder rung 3: EDF demand bound per touched port — would the promised
+  // bytes overflow any deadline window past the SLO share of nominal
+  // capacity? (Boundaries before this coflow's own deadline are untouched
+  // by it and are not re-litigated: their jobs are already part-served.)
+  for (fabric::PortId p : touched_ingress_) {
+    if (!demand_fits(committed_ingress_[p], all_flows, coflow.deadline,
+                     ingress_bytes_[p], nominal_ingress_[p], now)) {
+      d.verdict = AdmissionVerdict::kReject;
+      d.reason = "slo_share_exhausted";
+      return d;
+    }
+  }
+  for (fabric::PortId p : touched_egress_) {
+    if (!demand_fits(committed_egress_[p], all_flows, coflow.deadline,
+                     egress_bytes_[p], nominal_egress_[p], now)) {
+      d.verdict = AdmissionVerdict::kReject;
+      d.reason = "slo_share_exhausted";
+      return d;
+    }
+  }
+
+  // Ladder rung 4: feasible raw but compression's CPU bill blows the
+  // deadline — admit with beta forced off for the coflow's lifetime. A
+  // coflow with nothing to compress has no compression to price out.
+  if (b.any_compressible && b.t_cur <= slack && b.t_comp > slack) {
+    d.verdict = AdmissionVerdict::kDegrade;
+    d.reason = "compression_priced_out";
+  } else {
+    d.verdict = AdmissionVerdict::kAdmit;
+    d.reason = "feasible";
+  }
+
+  // Commit the promise (released at completion or shed).
+  Commitment& c = commitments_[coflow.id];
+  for (fabric::PortId p : touched_ingress_) {
+    Demand dm{coflow.deadline, coflow.id, {}};
+    for (fabric::FlowId fid : coflow.flows)
+      if (all_flows[fid].src == p &&
+          all_flows[fid].volume() > fabric::kVolumeEpsilon)
+        dm.flows.push_back(fid);
+    committed_ingress_[p].push_back(std::move(dm));
+    c.ingress.push_back(p);
+  }
+  for (fabric::PortId p : touched_egress_) {
+    Demand dm{coflow.deadline, coflow.id, {}};
+    for (fabric::FlowId fid : coflow.flows)
+      if (all_flows[fid].dst == p &&
+          all_flows[fid].volume() > fabric::kVolumeEpsilon)
+        dm.flows.push_back(fid);
+    committed_egress_[p].push_back(std::move(dm));
+    c.egress.push_back(p);
+  }
+  return d;
+}
+
+AdmissionController::Bounds AdmissionController::price(
+    const fabric::Coflow& coflow, const std::vector<fabric::Flow>& all_flows,
+    const fabric::Fabric& live, const cpu::CpuProvider& cpu,
+    const codec::CodecModel* codec, common::Seconds now) {
   // Per-port raw byte loads (and the raw bytes the codec would have to
   // encode at each sender). Touched lists keep the reset O(flows).
   for (fabric::PortId p : touched_ingress_) {
@@ -120,79 +200,52 @@ AdmissionDecision AdmissionController::admit(
   }
   if (!any_compressible) t_comp = kInf;
 
-  d.t_uncompressed = t_cur;
-  d.t_compressed = t_comp;
-  d.t_nominal = t_nom;
+  return Bounds{t_cur, t_comp, t_nom, any_compressible};
+}
 
-  // Ladder rung 1: hopeless even on a healthy fabric with the coflow alone.
-  if (t_nom > config_.reject_margin * slack) {
-    d.verdict = AdmissionVerdict::kReject;
-    d.reason = "hopeless";
-    return d;
-  }
+AdmissionController::RepriceOutcome AdmissionController::reprice(
+    const std::vector<fabric::Flow>& all_flows, const fabric::Fabric& live,
+    const cpu::CpuProvider& cpu, const codec::CodecModel* codec,
+    common::Seconds now,
+    const std::function<const fabric::Coflow&(fabric::CoflowId)>& coflow_of) {
+  RepriceOutcome out;
+  if (commitments_.empty()) return out;
 
-  // Ladder rung 2: infeasible on the fabric as it stands (degradation may
-  // lift later) — keep it, unpromised, served by leftovers.
-  const common::Seconds t_best = std::min(t_cur, t_comp);
-  if (t_best > slack) {
-    d.verdict = AdmissionVerdict::kDefer;
-    d.reason = "infeasible_now";
-    return d;
-  }
+  // Sorted snapshot of the ids: the walk mutates commitments_ (demotions
+  // release), and unordered_map iteration order must never leak into
+  // verdicts — both engine modes must shed/demote the same coflows.
+  std::vector<fabric::CoflowId> ids;
+  ids.reserve(commitments_.size());
+  for (const auto& [id, c] : commitments_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
 
-  // Ladder rung 3: EDF demand bound per touched port — would the promised
-  // bytes overflow any deadline window past the SLO share of nominal
-  // capacity? (Boundaries before this coflow's own deadline are untouched
-  // by it and are not re-litigated: their jobs are already part-served.)
-  for (fabric::PortId p : touched_ingress_) {
-    if (!demand_fits(committed_ingress_[p], all_flows, coflow.deadline,
-                     ingress_bytes_[p], nominal_ingress_[p], now)) {
-      d.verdict = AdmissionVerdict::kReject;
-      d.reason = "slo_share_exhausted";
-      return d;
+  for (const fabric::CoflowId id : ids) {
+    const fabric::Coflow& coflow = coflow_of(id);
+    const common::Seconds slack = coflow.deadline - now;
+    // Already past its deadline at this boundary: the expiry ladder owns
+    // that shed (same journal record, same boundary) — don't double-count.
+    if (slack <= 0) continue;
+    const Bounds b = price(coflow, all_flows, live, cpu, codec, now);
+    if (std::min(b.t_cur, b.t_comp) <= slack) continue;  // still feasible
+    if (b.t_nom > config_.reject_margin * slack) {
+      // Hopeless: infeasible live even compressed, AND the remaining raw
+      // volume misses the deadline even at nominal capacity. Shedding now
+      // (instead of at expiry) returns the fabric share to feasible work
+      // for the whole remaining slack. The compressed-path check matters:
+      // t_nom prices raw bytes, and a coflow whose codec carries it must
+      // not be shed on a raw-only bound.
+      out.shed.push_back(id);
+    } else {
+      // Feasible on paper, not on the fabric as it stands: withdraw the
+      // promise so the EDF demand bound stops charging arrivals for bytes
+      // this coflow cannot land in time. It keeps running by leftovers
+      // (kDeferred) and is re-shed at expiry if degradation never lifts.
+      release(id);
+      out.demoted.push_back(id);
     }
   }
-  for (fabric::PortId p : touched_egress_) {
-    if (!demand_fits(committed_egress_[p], all_flows, coflow.deadline,
-                     egress_bytes_[p], nominal_egress_[p], now)) {
-      d.verdict = AdmissionVerdict::kReject;
-      d.reason = "slo_share_exhausted";
-      return d;
-    }
-  }
-
-  // Ladder rung 4: feasible raw but compression's CPU bill blows the
-  // deadline — admit with beta forced off for the coflow's lifetime. A
-  // coflow with nothing to compress has no compression to price out.
-  if (any_compressible && t_cur <= slack && t_comp > slack) {
-    d.verdict = AdmissionVerdict::kDegrade;
-    d.reason = "compression_priced_out";
-  } else {
-    d.verdict = AdmissionVerdict::kAdmit;
-    d.reason = "feasible";
-  }
-
-  // Commit the promise (released at completion or shed).
-  Commitment& c = commitments_[coflow.id];
-  for (fabric::PortId p : touched_ingress_) {
-    Demand dm{coflow.deadline, coflow.id, {}};
-    for (fabric::FlowId fid : coflow.flows)
-      if (all_flows[fid].src == p &&
-          all_flows[fid].volume() > fabric::kVolumeEpsilon)
-        dm.flows.push_back(fid);
-    committed_ingress_[p].push_back(std::move(dm));
-    c.ingress.push_back(p);
-  }
-  for (fabric::PortId p : touched_egress_) {
-    Demand dm{coflow.deadline, coflow.id, {}};
-    for (fabric::FlowId fid : coflow.flows)
-      if (all_flows[fid].dst == p &&
-          all_flows[fid].volume() > fabric::kVolumeEpsilon)
-        dm.flows.push_back(fid);
-    committed_egress_[p].push_back(std::move(dm));
-    c.egress.push_back(p);
-  }
-  return d;
+  // Sheds release through the caller's mark_rejected -> release() path.
+  return out;
 }
 
 bool AdmissionController::demand_fits(

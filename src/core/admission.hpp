@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -97,6 +98,31 @@ class AdmissionController {
   /// Returns the coflow's committed port demand (no-op when none).
   void release(fabric::CoflowId id);
 
+  /// Mid-flight re-pricing at capacity-change preemption points. Arrival
+  /// verdicts are priced against the fabric *as it stood then*; a later
+  /// brownout can strand a commitment the fabric can no longer honor, and
+  /// the stale promise both blocks feasible arrivals (EDF demand bound)
+  /// and lets doomed work drain until its expiry. reprice() re-runs the
+  /// isolation bounds for every committed coflow against the live fabric
+  /// at `now` (remaining volumes: the walk happens at a fold boundary):
+  ///   - still hopeless on the *nominal* fabric -> `shed` (the caller
+  ///     rejects it mid-flight; the expiry ladder would only catch it at
+  ///     its deadline, after burning capacity for the whole slack),
+  ///   - infeasible on the live fabric -> `demoted` (commitment released
+  ///     here; the caller demotes kAdmitted to kDeferred — allocations do
+  ///     not key on the difference, so no reschedule is forced).
+  /// The walk is over commitment ids in sorted order, so outcomes are
+  /// deterministic and identical across engine modes.
+  struct RepriceOutcome {
+    std::vector<fabric::CoflowId> shed;
+    std::vector<fabric::CoflowId> demoted;
+  };
+  RepriceOutcome reprice(
+      const std::vector<fabric::Flow>& all_flows, const fabric::Fabric& live,
+      const cpu::CpuProvider& cpu, const codec::CodecModel* codec,
+      common::Seconds now,
+      const std::function<const fabric::Coflow&(fabric::CoflowId)>& coflow_of);
+
   /// Number of committed (not yet released) demands on a port
   /// (tests/diagnostics).
   std::size_t committed_ingress(fabric::PortId p) const {
@@ -125,6 +151,20 @@ class AdmissionController {
     fabric::CoflowId coflow = 0;
     std::vector<fabric::FlowId> flows;
   };
+
+  /// Isolation completion bounds for `coflow` alone at `now` (remaining
+  /// volumes). Fills the touched/byte scratch as a side effect — admit()
+  /// reads it for the EDF bound and the commit.
+  struct Bounds {
+    common::Seconds t_cur = 0;   ///< current capacities, uncompressed
+    common::Seconds t_comp = 0;  ///< current capacities, compress-all
+    common::Seconds t_nom = 0;   ///< nominal capacities, uncompressed
+    bool any_compressible = false;
+  };
+  Bounds price(const fabric::Coflow& coflow,
+               const std::vector<fabric::Flow>& all_flows,
+               const fabric::Fabric& live, const cpu::CpuProvider& cpu,
+               const codec::CodecModel* codec, common::Seconds now);
 
   /// EDF demand bound on one port: with `add_bytes` due by `add_deadline`
   /// included, every deadline boundary at or after it must satisfy

@@ -21,6 +21,10 @@ Cluster::Cluster(const ClusterConfig& config)
   if (config.num_workers == 0)
     throw std::invalid_argument("Cluster: zero workers");
   fault_counters_.set_sink(config.sink);
+  if (config.chunk_bytes > 0)
+    chunk_pool_ = std::make_unique<codec::ChunkPool>(config.codec_threads,
+                                                     config.sink);
+  ledger_.set_sink(config.sink);
   workers_.reserve(config.num_workers);
   for (std::size_t i = 0; i < config.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(
@@ -172,38 +176,71 @@ bool SwallowContext::transfer_once(CoflowRef ref, BlockId block,
   // travel as checksummed frames (codec/frame.hpp), so wire corruption is
   // detected at pull time rather than silently reducing garbage.
   const FlowDecision decision = cluster_->master().decision_of(block);
+  const std::size_t chunk_bytes = cluster_->config().chunk_bytes;
+  const codec::NullCodec null;
+  const codec::Codec& chosen =
+      decision.compress ? cluster_->codec()
+                        : static_cast<const codec::Codec&>(null);
+  // Injected CPU-side failure: only a real compressor can crash; a
+  // degraded (uncompressed) flow is immune, which is what makes the
+  // degradation ladder terminate.
+  if (decision.compress &&
+      injector.inject(FaultKind::kCodecFail, block, attempt))
+    throw codec::CodecError("injected codec failure");
+
   codec::Buffer wire;
-  {
-    obs::ProfileScope scope(cluster_->sink(), "runtime.push.compress",
-                            "runtime");
-    if (decision.compress) {
-      // Injected CPU-side failure: only a real compressor can crash; a
-      // degraded (uncompressed) flow is immune, which is what makes the
-      // degradation ladder terminate.
-      if (injector.inject(FaultKind::kCodecFail, block, attempt))
-        throw codec::CodecError("injected codec failure");
-      wire = codec::frame_compress(cluster_->codec(), data);
-    } else {
-      const codec::NullCodec null;
-      wire = codec::frame_compress(null, data);
-    }
-  }
-
-  // Size the transfer buffer to the payload (receive buffers hold exactly
-  // what crossed the wire, which is what compression shrinks).
-  wire.shrink_to_fit();
-
-  if (injector.inject(FaultKind::kCorrupt, block, attempt))
-    injector.corrupt(wire, block, attempt);
-
-  {
+  if (chunk_bytes > 0) {
+    // Pipelined chunked path (DESIGN.md §14): chunk N crosses the NIC
+    // limiters while chunk N+1 encodes on the shared pool, overlapping the
+    // paper's compression and transmission stages inside one block. The
+    // SWF2 framing is deterministic (byte-identical to the one-shot serial
+    // encode), and corrupt injection is a pure function of
+    // (seed, kind, block, attempt), so flipping bytes on the assembled
+    // wire after transfer is equivalent to the legacy corrupt-then-send.
+    codec::ChunkEncoder enc(chosen, data, chunk_bytes,
+                            cluster_->chunk_pool(), &cluster_->ledger());
     obs::ProfileScope scope(cluster_->sink(), "runtime.push.transfer",
                             "runtime");
     const std::uint64_t rank = cluster_->master().rank_of(ref);
     const PortGate::Ticket ticket = sender.egress_gate().acquire(rank);
-    sender.egress().acquire(wire.size());
-    receiver.ingress().acquire(wire.size());
+    try {
+      while (enc.has_next()) {
+        const codec::Buffer piece = enc.next();
+        sender.egress().acquire(piece.size());
+        receiver.ingress().acquire(piece.size());
+        wire.insert(wire.end(), piece.begin(), piece.end());
+      }
+    } catch (...) {
+      sender.egress_gate().release(ticket);
+      throw;
+    }
     sender.egress_gate().release(ticket);
+    wire.shrink_to_fit();
+    if (injector.inject(FaultKind::kCorrupt, block, attempt))
+      injector.corrupt(wire, block, attempt);
+  } else {
+    {
+      obs::ProfileScope scope(cluster_->sink(), "runtime.push.compress",
+                              "runtime");
+      wire = codec::frame_compress(chosen, data);
+    }
+
+    // Size the transfer buffer to the payload (receive buffers hold exactly
+    // what crossed the wire, which is what compression shrinks).
+    wire.shrink_to_fit();
+
+    if (injector.inject(FaultKind::kCorrupt, block, attempt))
+      injector.corrupt(wire, block, attempt);
+
+    {
+      obs::ProfileScope scope(cluster_->sink(), "runtime.push.transfer",
+                              "runtime");
+      const std::uint64_t rank = cluster_->master().rank_of(ref);
+      const PortGate::Ticket ticket = sender.egress_gate().acquire(rank);
+      sender.egress().acquire(wire.size());
+      receiver.ingress().acquire(wire.size());
+      sender.egress_gate().release(ticket);
+    }
   }
 
   // Straggler: the frame crossed the NICs but dawdles before landing.
@@ -325,7 +362,15 @@ codec::Buffer SwallowContext::pull(CoflowRef ref, BlockId block, WorkerId dst,
     try {
       obs::ProfileScope scope(cluster_->sink(), "runtime.pull.decompress",
                               "runtime");
-      data = codec::frame_decompress(*wire);
+      // Blocks land as SWF2 chunk frames on the chunked path (chunks decode
+      // concurrently on the shared pool) or SWF1 frames on the legacy path;
+      // retransmits after a config change may carry either, so dispatch on
+      // the magic rather than on the current config.
+      if (codec::is_chunk_frame(*wire))
+        data = codec::chunk_decompress(*wire, cluster_->chunk_pool(),
+                                       &cluster_->ledger());
+      else
+        data = codec::frame_decompress(*wire);
     } catch (const codec::CodecError&) {
       // Wire corruption caught by the frame checksums: count it against
       // the flow (the degradation ladder flips persistent offenders to

@@ -15,7 +15,9 @@
 #include <memory>
 #include <vector>
 
+#include "codec/chunk.hpp"
 #include "codec/codec.hpp"
+#include "codec/throughput.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/master.hpp"
 #include "runtime/worker.hpp"
@@ -32,6 +34,12 @@ struct ClusterConfig {
   double cpu_headroom = 0.9;
   /// (R, xi) model for the compression gate; defaults to Table II's LZ4.
   codec::CodecModel codec_model = codec::default_codec_model();
+  /// Chunk size for the pipelined codec data plane (DESIGN.md §14): blocks
+  /// travel as SWF2 chunk frames, chunk N transmitting while chunk N+1
+  /// encodes. 0 falls back to the serial SWF1 frame path.
+  std::size_t chunk_bytes = codec::kDefaultChunkBytes;
+  /// Codec worker threads shared by all transfers (0 = auto: min(4, hw)).
+  unsigned codec_threads = 0;
   /// Observability sink shared by the master, workers and context data
   /// paths (scheduling decisions, transfer counters, gate-wait and
   /// compress/transfer/decompress profiles). Null disables tracing.
@@ -52,6 +60,14 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   const codec::Codec& codec() const { return *codec_; }
   obs::Sink* sink() const { return config_.sink; }
+
+  /// Shared codec worker pool (null when chunk_bytes == 0: legacy SWF1
+  /// serial path). All transfers' encode/decode jobs multiplex onto it.
+  codec::ChunkPool* chunk_pool() { return chunk_pool_.get(); }
+  /// Measured per-chunk codec throughput; calibrate() turns it into a
+  /// CodecModel for the sim/gate side.
+  codec::ThroughputLedger& ledger() { return ledger_; }
+  const codec::ThroughputLedger& ledger() const { return ledger_; }
 
   /// Cluster-wide traffic totals (sum over workers).
   std::size_t total_wire_bytes() const;
@@ -90,6 +106,8 @@ class Cluster {
   ClusterConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<codec::Codec> codec_;
+  std::unique_ptr<codec::ChunkPool> chunk_pool_;
+  codec::ThroughputLedger ledger_;
   Master master_;
   FaultCounters fault_counters_;
   FaultInjector injector_;

@@ -71,6 +71,8 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
 
   BufferPool map_pool, reduce_pool;
   const FaultStats faults_before = cluster.fault_stats();
+  const std::size_t chunks_enc_before = cluster.ledger().chunks_encoded();
+  const std::size_t chunks_dec_before = cluster.ledger().chunks_decoded();
   const auto job_start = Clock::now();
 
   // ---- Map stage: generate partitions, register flows. ----
@@ -266,6 +268,13 @@ ShuffleReport run_shuffle_job(Cluster& cluster,
       faults_after.gate_evictions - faults_before.gate_evictions;
   report.degraded_flows =
       faults_after.degraded_flows - faults_before.degraded_flows;
+
+  report.encode_mbps = cluster.ledger().encode_mbps();
+  report.decode_mbps = cluster.ledger().decode_mbps();
+  report.chunks_encoded =
+      cluster.ledger().chunks_encoded() - chunks_enc_before;
+  report.chunks_decoded =
+      cluster.ledger().chunks_decoded() - chunks_dec_before;
 
   if (!report.verified) {
     const BlockId bad = first_bad_block.load();

@@ -29,7 +29,11 @@ DeadlineFvdfScheduler::DeadlineFvdfScheduler(DeadlineFvdfOptions options)
 std::string DeadlineFvdfScheduler::name() const { return "DEADLINE-FVDF"; }
 
 bool DeadlineFvdfScheduler::starved(const fabric::Coflow& c) const {
-  return any_deadline_ && c.priority >= options_.starvation_priority;
+  // Band-0 promotion guards best-effort work against a monopolizing band 1;
+  // in fault fallback there is no band 1, and promotion would only perturb
+  // the plain FVDF order the fallback exists to reproduce.
+  return any_deadline_ && !seen_degraded_ &&
+         c.priority >= options_.starvation_priority;
 }
 
 template <typename GammaNcFn>
@@ -46,7 +50,18 @@ DeadlineFvdfScheduler::SloRank DeadlineFvdfScheduler::classify(
     if (has_beta) g = gamma_nc();
     uncompressed = true;
   }
-  if (c.has_deadline() && now < c.deadline) {
+  // Fault fallback (seen_degraded_): from the first brownout of the run
+  // onward, every coflow — deadline or not — takes the plain FVDF rank
+  // below. Deadline machinery is counterproductive on a fault-prone
+  // fabric: pacing stretches feasible coflows across slack that the next
+  // fault erases, EDF lets an early-deadline elephant starve cheaper
+  // deadlines SJF would meet, and band-3 parking starves transiently
+  // infeasible coflows blind FVDF happily finishes. Admission, expiry
+  // shedding and re-pricing stay active, and shedding only removes
+  // already-missed volume FVDF would keep transmitting, so fallback met
+  // fraction and goodput dominate blind FVDF's. A healthy run never sets
+  // the flag and keeps the full band ladder.
+  if (!seen_degraded_ && c.has_deadline() && now < c.deadline) {
     const common::Seconds slack = c.deadline - now;
     const double sf = options_.slack_factor;
     if (g <= sf * slack) {
@@ -74,9 +89,9 @@ DeadlineFvdfScheduler::SloRank DeadlineFvdfScheduler::classify(
     r.horizon = r.band == 1 ? c.deadline - g / sf : c.deadline;
     return r;
   }
-  // Best-effort or expired deadline: plain FVDF order, with the starvation
-  // promotion ahead of the deadline band once the priority class says the
-  // coflow has waited long enough.
+  // Best-effort, expired deadline, or fault fallback: plain FVDF order,
+  // with the starvation promotion ahead of the deadline band once the
+  // priority class says the coflow has waited long enough.
   r.band = starved(c) ? 0 : 2;
   r.gamma = g;
   r.primary = options_.base.online ? g / std::max(c.priority, 1.0) : g;
@@ -86,6 +101,13 @@ DeadlineFvdfScheduler::SloRank DeadlineFvdfScheduler::classify(
 fabric::Allocation DeadlineFvdfScheduler::schedule(const SchedContext& ctx) {
   ++round_;
   const std::uint64_t prev = round_ - 1;
+  if (!seen_degraded_ && ctx.fabric->degraded()) {
+    seen_degraded_ = true;
+    // Entering fault fallback reclassifies every coflow, not just the ones
+    // the capacity change dirtied: force the incremental path through its
+    // session rebuild so no cached band survives the regime switch.
+    bound_tracker_ = nullptr;
+  }
 
   // Upgrade (Pseudocode 3), verbatim from FvdfScheduler: age only coflows
   // that got no service out of the previous decision, at coflow events.
@@ -320,14 +342,15 @@ fabric::Allocation DeadlineFvdfScheduler::schedule_incremental(
       // the want is computed live at walk time (identical expression to the
       // batch path — cached wants would go stale between refreshes). Other
       // bands replay the memoized Gamma-paced wants.
+      const bool live_want = b == 1;
       common::Seconds dispose = 0;
-      if (b == 1)
+      if (live_want)
         dispose = std::max(std::max(cc.gamma, ctx.slice),
                            tracker.coflow(id)->deadline - ctx.now - ctx.slice);
       for (const Lane& l : cc.lanes) {
         if (l.beta) continue;
         const common::Bps want =
-            b == 1 ? tracker.flow(l.id).volume() / dispose : l.want;
+            live_want ? tracker.flow(l.id).volume() / dispose : l.want;
         const common::Bps r =
             std::min(want, headroom.available(l.src, l.dst));
         if (r > 0) {
@@ -496,6 +519,7 @@ void DeadlineFvdfScheduler::save_state(recovery::StateWriter& w) const {
   for (const std::uint64_t s : seen_round_) w.u64(s);
   w.u64(served_round_.size());
   for (const std::uint64_t s : served_round_) w.u64(s);
+  w.u64(seen_degraded_ ? 1 : 0);
 }
 
 void DeadlineFvdfScheduler::restore_state(recovery::StateReader& r) {
@@ -504,6 +528,7 @@ void DeadlineFvdfScheduler::restore_state(recovery::StateReader& r) {
   for (std::uint64_t& s : seen_round_) s = r.u64();
   served_round_.resize(r.count("dfvdf served stamps"));
   for (std::uint64_t& s : served_round_) s = r.u64();
+  seen_degraded_ = r.u64() != 0;
   // Same contract as FvdfScheduler::restore_state: everything else is
   // session-keyed derived state, rebuilt on the first post-restore round.
   bound_tracker_ = nullptr;

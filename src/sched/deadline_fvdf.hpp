@@ -19,7 +19,19 @@
 // ladder: a deadline coflow whose compressed Gamma misses the deadline but
 // whose *uncompressed* Gamma fits is degraded for the round (compression's
 // CPU bill is priced out by the slack; beta forced 0), and only then
-// deferred. With zero finite deadlines every coflow lands in band 2 with
+// deferred.
+//
+// Fault fallback: from the first scheduling round at which any link is
+// degraded, the whole band ladder collapses — every coflow takes the plain
+// FVDF rank in band 2 for the rest of the run. On a fault-prone fabric the
+// deadline machinery is counterproductive (pacing stretches feasible
+// coflows across slack the next fault erases; EDF lets an early-deadline
+// elephant starve cheaper deadlines SJF would meet; band-3 parking starves
+// transiently infeasible coflows blind FVDF happily finishes), while
+// admission, expiry shedding and capacity-change re-pricing stay active
+// and only remove already-missed volume FVDF would keep transmitting. A
+// healthy run never enters fallback. With zero finite deadlines every
+// coflow lands in band 2 with
 // FVDF's exact rank key and the allocation is bit-for-bit identical to
 // FvdfScheduler — the zero-deadline A/B in CI enforces this.
 //
@@ -62,9 +74,10 @@ class DeadlineFvdfScheduler final : public Scheduler {
   std::string name() const override;
   fabric::Allocation schedule(const SchedContext& ctx) override;
 
-  /// Starvation stamps only, mirroring FvdfScheduler: every band index,
-  /// horizon heap and Γ memo is session-keyed derived state, rebuilt from
-  /// the restored coflow/flow pools on the first post-restore round.
+  /// Starvation stamps plus the sticky brownout flag, mirroring
+  /// FvdfScheduler otherwise: every band index, horizon heap and Γ memo is
+  /// session-keyed derived state, rebuilt from the restored coflow/flow
+  /// pools on the first post-restore round.
   void save_state(recovery::StateWriter& w) const override;
   void restore_state(recovery::StateReader& r) override;
 
@@ -145,6 +158,12 @@ class DeadlineFvdfScheduler final : public Scheduler {
   /// incremental path mirrors deadline_resident_ > 0.
   bool any_deadline_ = false;
   bool need_global_rekey_ = false;
+  /// Sticky: the fabric has been degraded at some scheduling round of this
+  /// run, and the scheduler is in fault fallback (plain FVDF order for
+  /// everyone) from that round onward. Never set on a healthy run, so every
+  /// healthy-fabric baseline is untouched. Checkpointed: fallback must
+  /// survive a crash-restore into a currently-healthy window.
+  bool seen_degraded_ = false;
   /// Lazy min-heap of (horizon, coflow): popped and refreshed when the
   /// horizon falls within one slice of now. Over-popping is safe — classify
   /// is authoritative — and refresh_coflow re-arms the next horizon, so a

@@ -436,6 +436,7 @@ class Engine {
       if (m == 0.0) ++dstats.link_failures;
       need_schedule = true;
       coflow_event = true;
+      if (admit_on) reprice_due = true;
       if (sink != nullptr) [[unlikely]]
         ColdEmit::capacity_change(sink, now, std::int64_t(p), prev, m,
                                   live.ingress_capacity(p),
@@ -731,6 +732,11 @@ class Engine {
 
   bool need_schedule = true;
   bool coflow_event = true;  // arrival/coflow-completion since last schedule
+  // A capacity change landed since the last boundary: re-price admitted
+  // deadline commitments against the fabric as it now stands. Consumed
+  // before the next schedule round of the same iteration (and before any
+  // checkpoint), so it never needs to be part of snapshot state.
+  bool reprice_due = false;
   std::int64_t stalled = 0;
   DegradationStats dstats;
   std::vector<char> decided;
@@ -1033,6 +1039,8 @@ void Engine::save_state(recovery::StateWriter& w) const {
   w.u64(sstats.rejected);
   w.u64(sstats.shed_midflight);
   w.f64(sstats.shed_bytes);
+  w.u64(sstats.repriced_shed);
+  w.u64(sstats.repriced_demoted);
 
   w.u32(tag4('A', 'D', 'M', 'S'));
   w.boolean(admit_on);
@@ -1153,6 +1161,8 @@ void Engine::restore_state(recovery::StateReader& r) {
   sstats.rejected = r.u64();
   sstats.shed_midflight = r.u64();
   sstats.shed_bytes = r.f64();
+  sstats.repriced_shed = r.u64();
+  sstats.repriced_demoted = r.u64();
 
   expect_tag(r, tag4('A', 'D', 'M', 'S'), "ADMS");
   if (r.boolean() != admit_on)
@@ -1309,6 +1319,52 @@ Metrics Engine::run() {
       if (active.empty()) {
         if (next_arrival >= arrival_order.size()) break;
         continue;  // top-of-loop idle jump re-bases time at the next arrival
+      }
+    }
+
+    // Capacity-change re-pricing: arrival verdicts were priced against the
+    // fabric as it stood then, so a brownout can strand commitments the
+    // degraded fabric can no longer honor — they block feasible arrivals
+    // via the EDF demand bound and drain doomed bytes until expiry. Runs
+    // at the fold boundary right after apply_capacity (volumes settled,
+    // pre-schedule, pre-checkpoint), on remaining volumes, in sorted
+    // commitment order: a pure function of folded state at `t`, identical
+    // across engine modes.
+    if (admit_on && reprice_due) {
+      reprice_due = false;
+      const core::AdmissionController::RepriceOutcome outcome =
+          admission.reprice(flows, live, cpu, config.codec, t,
+                            [&](fabric::CoflowId id) -> const fabric::Coflow& {
+                              return coflows[id].state;
+                            });
+      for (const fabric::CoflowId id : outcome.shed) {
+        SimCoflow& sc = coflows[id];
+        mark_rejected(sc, /*midflight=*/true, t);
+        ++sstats.repriced_shed;
+        need_schedule = true;
+        coflow_event = true;
+      }
+      for (const fabric::CoflowId id : outcome.demoted) {
+        SimCoflow& sc = coflows[id];
+        ++sstats.repriced_demoted;
+        // kAdmitted drops to kDeferred (unpromised, served by leftovers) —
+        // allocations do not key on the difference, so no extra round. A
+        // kDegraded coflow keeps its class: the beta-force must persist
+        // for its lifetime even after the commitment is withdrawn.
+        if (sc.state.slo == fabric::SloClass::kAdmitted)
+          sc.state.slo = fabric::SloClass::kDeferred;
+      }
+      if (!outcome.shed.empty()) {
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](std::size_t ci) {
+                                      return coflows[ci].state.slo ==
+                                             fabric::SloClass::kRejected;
+                                    }),
+                     active.end());
+        if (active.empty()) {
+          if (next_arrival >= arrival_order.size()) break;
+          continue;  // idle jump re-bases at the next arrival
+        }
       }
     }
 
@@ -1572,6 +1628,12 @@ Metrics Engine::run() {
           .counter("slo.shed_midflight")
           .add(sstats.shed_midflight);
       sink->registry().gauge("slo.shed_bytes").set(sstats.shed_bytes);
+      sink->registry()
+          .counter("slo.repriced_shed")
+          .add(sstats.repriced_shed);
+      sink->registry()
+          .counter("slo.repriced_demoted")
+          .add(sstats.repriced_demoted);
     }
   }
 

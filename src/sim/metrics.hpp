@@ -97,6 +97,12 @@ struct SloStats {
   std::uint64_t rejected = 0;        ///< kReject: dropped at arrival
   std::uint64_t shed_midflight = 0;  ///< expired mid-flight, volume dropped
   common::Bytes shed_bytes = 0;      ///< remaining volume discarded by both
+  /// Capacity-change re-pricing (DESIGN.md section 12): commitments shed
+  /// early (hopeless at nominal with remaining volume) and commitments
+  /// withdrawn (infeasible on the degraded fabric; coflow demoted to
+  /// deferred and served by leftovers).
+  std::uint64_t repriced_shed = 0;
+  std::uint64_t repriced_demoted = 0;
 };
 
 class Metrics {

@@ -82,6 +82,8 @@ void expect_identical(const sim::Metrics& a, const sim::Metrics& b,
   EXPECT_EQ(a.slo.rejected, b.slo.rejected);
   EXPECT_EQ(a.slo.shed_midflight, b.slo.shed_midflight);
   EXPECT_EQ(a.slo.shed_bytes, b.slo.shed_bytes);
+  EXPECT_EQ(a.slo.repriced_shed, b.slo.repriced_shed);
+  EXPECT_EQ(a.slo.repriced_demoted, b.slo.repriced_demoted);
 }
 
 // ---------------------------------------------------------------------------
@@ -432,6 +434,48 @@ TEST(SloBehavior, ShedExpiredDropsDoomedVolume) {
   // The shed happened at the first slice boundary past the deadline, not at
   // the natural 4-second completion: wire bytes stop near 0.5 s of service.
   EXPECT_LT(m.coflows[0].wire_bytes, f.bytes * 0.2);
+}
+
+TEST(SloBehavior, MetFractionUnderDegradationAtLeastFvdf) {
+  // The fault-fallback contract (DESIGN.md section 12): on a degrading
+  // fabric the deadline scheduler must not trail blind FVDF on met
+  // fraction. Historically it did — EDF pacing stretched feasible coflows
+  // across slack the next brownout erased, and band-3 parking starved
+  // transiently infeasible coflows FVDF kept serving. The sticky FVDF
+  // fallback plus capacity-change re-pricing closes the gap; expiry
+  // shedding can only free capacity FVDF wastes on already-missed work.
+  workload::GeneratorConfig gen;
+  gen.num_ports = 16;
+  gen.num_coflows = 60;
+  gen.mean_interarrival = 0.5;
+  gen.size_lo = 1e5;
+  gen.size_hi = 1e9;
+  gen.size_alpha = 0.15;
+  gen.width_lo = 1;
+  gen.width_hi = 6;
+  gen.seed = 2;
+  gen.deadline_fraction = 0.7;
+  gen.deadline_ref_bandwidth = common::mbps(100);
+  gen.deadline_slack_lo = 1.4;
+  gen.deadline_slack_hi = 3.0;
+  const workload::Trace trace = workload::generate_trace(gen);
+  const fabric::Fabric fabric(16, common::mbps(100));
+  const cpu::ConstantCpu cpu(0.9);
+  for (const double rate : {0.1, 0.2}) {
+    sim::SimConfig config;
+    config.codec = &codec::default_codec_model();
+    config.max_time = 72000.0;
+    config.degradation.rate = rate;
+    config.degradation.seed = 19;
+    config.degradation.failure_fraction = 0.25;
+    const auto fvdf = run_cfg(trace, fabric, cpu, "FVDF", config,
+                              sim::EngineMode::kEventDriven, true);
+    config.admission.enabled = true;
+    const auto dfvdf = run_cfg(trace, fabric, cpu, "DEADLINE-FVDF", config,
+                               sim::EngineMode::kEventDriven, true);
+    EXPECT_GE(dfvdf.deadline_met_fraction(), fvdf.deadline_met_fraction())
+        << "degradation rate=" << rate;
+  }
 }
 
 TEST(SloBehavior, DegradationRecheckRecoversDeferred) {

@@ -7,6 +7,7 @@ Both inputs are SWALLOW_BENCH_JSON files: one JSON object per line,
 Only timing metrics are gated, with direction taken from the name:
 
   *_ms            lower is better  -> fail if current > baseline * (1 + tol)
+  *_mbps,
   *.speedup,
   *.scaling,
   *.met_fraction  higher is better -> fail if current < baseline / (1 + tol)
@@ -74,7 +75,8 @@ def direction(metric):
     if metric.endswith("_ms"):
         return "down"
     if (
-        metric.endswith(".speedup")
+        metric.endswith("_mbps")
+        or metric.endswith(".speedup")
         or metric.endswith(".scaling")
         or metric.endswith(".met_fraction")
     ):
